@@ -1,0 +1,577 @@
+// Benchmarks regenerating every experiment of the paper's evaluation at
+// reduced scale (cmd/figures runs the same experiments at paper scale).
+// Each benchmark reports the quantity the paper's figure or in-text result
+// is about via b.ReportMetric, so `go test -bench=. -benchmem` doubles as
+// a one-page reproduction report.
+package odeproto_test
+
+import (
+	"math"
+	"testing"
+
+	"odeproto/internal/churn"
+	"odeproto/internal/core"
+	"odeproto/internal/endemic"
+	"odeproto/internal/epidemic"
+	"odeproto/internal/lv"
+	"odeproto/internal/ode"
+	"odeproto/internal/replica"
+	"odeproto/internal/sim"
+	"odeproto/internal/solver"
+)
+
+// BenchmarkFig2EndemicPhasePortrait simulates the Figure 2 stable-spiral
+// phase portrait (N = 1000, β = 4, γ = 1, α = 0.01, seven initial points)
+// and reports the simulated endpoint's distance to the analytic
+// equilibrium.
+func BenchmarkFig2EndemicPhasePortrait(b *testing.B) {
+	p := endemic.Params{B: 2, Gamma: 1.0, Alpha: 0.01}
+	eq := endemic.StableEquilibrium(p.Beta(), p.Gamma, p.Alpha)
+	var dist float64
+	for i := 0; i < b.N; i++ {
+		trs, err := endemic.PhasePortrait(p, endemic.Figure2InitialPoints(), 600, 5, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr := trs[0]
+		dx := tr.Xs[len(tr.Xs)-1] - 1000*eq.Receptive
+		dy := tr.Ys[len(tr.Ys)-1] - 1000*eq.Stash
+		dist = math.Hypot(dx, dy)
+	}
+	b.ReportMetric(dist, "final_dist_to_equilibrium")
+}
+
+// BenchmarkFig4LVPhasePortrait simulates the Figure 4 bistable portrait
+// and reports how many of the off-diagonal initial points converged to the
+// majority corner predicted by Theorem 4.
+func BenchmarkFig4LVPhasePortrait(b *testing.B) {
+	correct := 0
+	for i := 0; i < b.N; i++ {
+		trs, err := lv.PhasePortrait(1000, 0.05, lv.Figure4InitialPoints(), 2500, 25, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		correct = 0
+		for _, tr := range trs {
+			lastX := tr.Xs[len(tr.Xs)-1]
+			lastY := tr.Ys[len(tr.Ys)-1]
+			switch {
+			case tr.X0 > tr.Y0 && lastX > 950:
+				correct++
+			case tr.X0 < tr.Y0 && lastY > 950:
+				correct++
+			case tr.X0 == tr.Y0:
+				correct++ // ties may break either way (§4.2.2)
+			}
+		}
+	}
+	b.ReportMetric(float64(correct), "theorem4_correct_of_7")
+}
+
+// BenchmarkFig5MassiveFailure runs the massive-failure experiment (50% of
+// hosts crash) at N = 20000 and reports the stash population before and
+// after the failure — the paper's Figure 5 shape: the count halves and
+// stabilizes, never reaching zero.
+func BenchmarkFig5MassiveFailure(b *testing.B) {
+	var pre, post float64
+	for i := 0; i < b.N; i++ {
+		res, err := endemic.RunMassiveFailure(endemic.MassiveFailureConfig{
+			N:      20000,
+			Params: endemic.Params{B: 2, Gamma: 1e-2, Alpha: 1e-4},
+			FailAt: 500, FailFrac: 0.5,
+			Periods: 1000, RecordFrom: 0, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pre, post = res.Stash[480], res.Stash[len(res.Stash)-1]
+		if post == 0 {
+			b.Fatal("replicas extinct after massive failure")
+		}
+	}
+	b.ReportMetric(pre, "stash_before")
+	b.ReportMetric(post, "stash_after")
+}
+
+// BenchmarkFig6FileFlux reports the file-flux rate (receptive→stash
+// transfers per period) before and after the massive failure; the paper's
+// point is that the failure barely disturbs it.
+func BenchmarkFig6FileFlux(b *testing.B) {
+	var fluxPre, fluxPost float64
+	for i := 0; i < b.N; i++ {
+		res, err := endemic.RunMassiveFailure(endemic.MassiveFailureConfig{
+			N:      20000,
+			Params: endemic.Params{B: 2, Gamma: 1e-2, Alpha: 1e-4},
+			FailAt: 500, FailFrac: 0.5,
+			Periods: 1000, RecordFrom: 0, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fluxPre, fluxPost = avg(res.Flux[300:500]), avg(res.Flux[800:])
+	}
+	b.ReportMetric(fluxPre, "flux_before")
+	b.ReportMetric(fluxPost, "flux_after")
+}
+
+// BenchmarkFig7AnalysisVsMeasured runs the analysis-vs-measured sweep and
+// reports the worst relative error of the measured median stash population
+// against the closed-form equilibrium (2) — the paper's Figure 7 shows
+// they "tally very closely".
+func BenchmarkFig7AnalysisVsMeasured(b *testing.B) {
+	p := endemic.Params{B: 2, Gamma: 0.1, Alpha: 0.001}
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		points, err := endemic.RunEquilibriumSweep([]int{12500, 25000}, p, 600, 600, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, pt := range points {
+			if e := math.Abs(pt.StashMeasured.Median-pt.StashAnalysis) / pt.StashAnalysis; e > worst {
+				worst = e
+			}
+		}
+	}
+	b.ReportMetric(worst*100, "worst_error_%")
+}
+
+// BenchmarkFig8Untraceability runs the stasher-scatter experiment and
+// reports the |time, host-ID| correlation (≈ 0 for untraceable replicas)
+// and the load-balancing fairness CV.
+func BenchmarkFig8Untraceability(b *testing.B) {
+	p := endemic.Params{B: 2, Gamma: 0.1, Alpha: 0.01}
+	var corr, fair float64
+	for i := 0; i < b.N; i++ {
+		res, err := endemic.RunUntraceability(1000, p, 500, 200, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		corr, fair = math.Abs(res.TimeHostCorrelation), res.Fairness
+	}
+	b.ReportMetric(corr, "abs_time_host_corr")
+	b.ReportMetric(fair, "fairness_cv")
+}
+
+// BenchmarkFig9ChurnPopulations runs the endemic protocol under
+// Overnet-calibrated churn and reports the minimum stash population over
+// the recorded window (the paper's point: it stays stable and non-zero).
+func BenchmarkFig9ChurnPopulations(b *testing.B) {
+	var minStash float64
+	for i := 0; i < b.N; i++ {
+		trace, err := churn.Synthesize(2000, 40, int64(i), churn.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := endemic.RunChurn(endemic.ChurnConfig{
+			N: 2000, Params: endemic.Params{B: 32, Gamma: 0.1, Alpha: 0.005},
+			Trace: trace, PeriodsPerHour: 10,
+			RecordFromHour: 20, RecordToHour: 40, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		minStash = res.Stash[0]
+		for _, s := range res.Stash {
+			if s < minStash {
+				minStash = s
+			}
+		}
+	}
+	b.ReportMetric(minStash, "min_stash")
+}
+
+// BenchmarkFig10ChurnTransitions reports the mean per-period transition
+// counts under churn (Figure 10's three streams stay low and stable).
+func BenchmarkFig10ChurnTransitions(b *testing.B) {
+	var transfers, deletions float64
+	for i := 0; i < b.N; i++ {
+		trace, err := churn.Synthesize(2000, 40, int64(i), churn.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := endemic.RunChurn(endemic.ChurnConfig{
+			N: 2000, Params: endemic.Params{B: 32, Gamma: 0.1, Alpha: 0.005},
+			Trace: trace, PeriodsPerHour: 10,
+			RecordFromHour: 20, RecordToHour: 40, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		transfers, deletions = avg(res.RcptvToStash), avg(res.StashToAverse)
+	}
+	b.ReportMetric(transfers, "transfers_per_period")
+	b.ReportMetric(deletions, "deletions_per_period")
+}
+
+// BenchmarkFig11LVConvergence runs the Figure 11 majority run (60/40
+// split) and reports the convergence period; the paper observes < 500 at
+// N = 100,000, and the O(log N) complexity predicts a similar count at
+// this scale.
+func BenchmarkFig11LVConvergence(b *testing.B) {
+	var converged float64
+	for i := 0; i < b.N; i++ {
+		run, err := lv.Simulate(lv.Config{
+			N: 20000, InitialX: 12000, InitialY: 8000,
+			Periods: 1500, FailAt: -1, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if run.Winner != lv.ProposalX {
+			b.Fatalf("initial majority lost (winner %q)", run.Winner)
+		}
+		converged = float64(run.ConvergedAt)
+	}
+	b.ReportMetric(converged, "convergence_period")
+}
+
+// BenchmarkFig12LVMassiveFailure crashes 50% of processes at t = 100 and
+// reports the (delayed) convergence period — the paper's run converged at
+// t = 862 versus < 500 without failures.
+func BenchmarkFig12LVMassiveFailure(b *testing.B) {
+	var converged float64
+	for i := 0; i < b.N; i++ {
+		run, err := lv.Simulate(lv.Config{
+			N: 20000, InitialX: 12000, InitialY: 8000,
+			Periods: 2500, FailAt: 100, FailFrac: 0.5, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if run.ConvergedAt < 0 {
+			b.Fatal("did not converge after massive failure")
+		}
+		converged = float64(run.ConvergedAt)
+	}
+	b.ReportMetric(converged, "convergence_period")
+}
+
+// BenchmarkR1EpidemicLogN reports epidemic completion rounds at N = 16000
+// against the 2·ln N prediction.
+func BenchmarkR1EpidemicLogN(b *testing.B) {
+	var rounds float64
+	for i := 0; i < b.N; i++ {
+		res, err := epidemic.Run(16000, int64(i), 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = float64(res.Rounds)
+	}
+	b.ReportMetric(rounds, "rounds")
+	b.ReportMetric(epidemic.PredictedRounds(16000), "predicted_2lnN")
+}
+
+// BenchmarkR2Longevity evaluates the §4.1.3 longevity closed forms (the
+// paper's 1.28e10- and 1.45e25-year headline numbers).
+func BenchmarkR2Longevity(b *testing.B) {
+	var y50, y100 float64
+	for i := 0; i < b.N; i++ {
+		y50 = endemic.ExpectedLongevityYears(50, 6)
+		y100 = endemic.ExpectedLongevityYears(100, 6)
+	}
+	b.ReportMetric(y50/1e10, "longevity50_1e10yr")
+	b.ReportMetric(y100/1e25, "longevity100_1e25yr")
+}
+
+// BenchmarkR3RealityCheck evaluates the §5.1 bandwidth estimate (paper:
+// 3.92e-3 bps per file per host).
+func BenchmarkR3RealityCheck(b *testing.B) {
+	var bw float64
+	for i := 0; i < b.N; i++ {
+		rc := endemic.ComputeRealityCheck(100000,
+			endemic.Params{B: 2, Gamma: 1e-3, Alpha: 1e-6}, 88.2*1024, 6)
+		bw = rc.BandwidthBps
+	}
+	b.ReportMetric(bw*1e3, "bandwidth_mbps_e3")
+}
+
+// BenchmarkR4LVConvergenceComplexity compares the §4.2.2 closed-form
+// linearized solution against RK4 integration of the full equations and
+// reports the worst deviation of y(t).
+func BenchmarkR4LVConvergenceComplexity(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		tr, err := solver.RK4(solver.FromSystem(lv.System()),
+			[]float64{0.01, 1 - 0.015, 0.005}, 0, 2, 1e-4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, tm := range []float64{0.25, 0.5, 1, 2} {
+			_, yCF := lv.ConvergenceComplexity(0.01, 0.015, tm)
+			if d := math.Abs(tr.At(tm)[1] - yCF); d > worst {
+				worst = d
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst_y_deviation")
+}
+
+// --- ablation and substrate benchmarks ---
+
+// BenchmarkAblationFrameworkVsFigure1 compares the canonical framework
+// translation of the endemic equations against the paper's Figure-1
+// variant: same equilibrium, different message complexity per period.
+func BenchmarkAblationFrameworkVsFigure1(b *testing.B) {
+	p := endemic.Params{B: 2, Gamma: 0.1, Alpha: 0.01}
+	run := func(proto *core.Protocol, seed int64) (stash, msgs float64) {
+		eq := endemic.StableEquilibrium(p.Beta(), p.Gamma, p.Alpha)
+		n := 10000
+		initY := int(eq.Stash * float64(n))
+		initX := int(eq.Receptive * float64(n))
+		e, err := sim.New(sim.Config{
+			N: n, Protocol: proto,
+			Initial: map[ode.Var]int{
+				endemic.Receptive: initX, endemic.Stash: initY,
+				endemic.Averse: n - initX - initY,
+			},
+			Seed: seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Run(500)
+		var stashSum, msgSum float64
+		for t := 0; t < 500; t++ {
+			e.Step()
+			stashSum += float64(e.Count(endemic.Stash))
+			msgSum += float64(e.MessagesLastPeriod())
+		}
+		return stashSum / 500, msgSum / 500 / float64(n)
+	}
+	var fwStash, fwMsgs, v1Stash, v1Msgs float64
+	for i := 0; i < b.N; i++ {
+		fw, err := endemic.NewFrameworkProtocol(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v1, err := endemic.NewFigure1Protocol(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fwStash, fwMsgs = run(fw, int64(i))
+		v1Stash, v1Msgs = run(v1, int64(i))
+	}
+	b.ReportMetric(fwStash, "framework_stash")
+	b.ReportMetric(v1Stash, "figure1_stash")
+	b.ReportMetric(fwMsgs, "framework_msgs_per_proc")
+	b.ReportMetric(v1Msgs, "figure1_msgs_per_proc")
+}
+
+// BenchmarkAblationTokenDirectedVsTTL compares §6's two token delivery
+// strategies on the x' = −y² system: membership-directed routing versus
+// TTL-bounded random walk, reporting delivered-flow ratio.
+func BenchmarkAblationTokenDirectedVsTTL(b *testing.B) {
+	sys, err := ode.Parse("x' = -y^2\ny' = y^2", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto, err := core.Translate(sys, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Scarce-target regime: only 2% of processes are in the token's
+	// target state, so a short random walk often expires while directed
+	// delivery always lands — the §6 trade-off.
+	run := func(ttl int, seed int64) (moved, lost float64) {
+		e, err := sim.New(sim.Config{
+			N: 20000, Protocol: proto,
+			Initial: map[ode.Var]int{"x": 400, "y": 19600},
+			Seed:    seed, TokenTTL: ttl,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for t := 0; t < 3; t++ {
+			e.Step()
+			moved += float64(e.TransitionsLastPeriod()[[2]ode.Var{"x", "y"}])
+			lost += float64(e.TokensLostLastPeriod())
+		}
+		return moved, lost
+	}
+	var directed, walked, walkLost float64
+	for i := 0; i < b.N; i++ {
+		directed, _ = run(0, int64(i))
+		walked, walkLost = run(4, int64(i))
+	}
+	b.ReportMetric(directed, "directed_conversions")
+	b.ReportMetric(walked, "ttl4_conversions")
+	b.ReportMetric(walkLost, "ttl4_expired")
+}
+
+// BenchmarkAblationFailureCompensation measures the §3 failure
+// compensation: with 30% message loss, the compensated protocol's drift
+// per unit of modelled time matches the loss-free equations, while the
+// uncompensated one falls short by the (1−f) factor. Conversions are
+// normalized by the protocol time scale p (one period = p time units).
+func BenchmarkAblationFailureCompensation(b *testing.B) {
+	const loss = 0.3
+	sys := "x' = -x*y\ny' = x*y"
+	run := func(opts core.Options, seed int64) float64 {
+		s, err := ode.Parse(sys, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		proto, err := core.Translate(s, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := sim.New(sim.Config{
+			N: 100000, Protocol: proto,
+			Initial:     map[ode.Var]int{"x": 50000, "y": 50000},
+			Seed:        seed,
+			MessageLoss: loss,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Step()
+		return float64(e.TransitionsLastPeriod()[[2]ode.Var{"x", "y"}]) / proto.P
+	}
+	var plain, comp float64
+	for i := 0; i < b.N; i++ {
+		plain = run(core.Options{}, int64(i))
+		comp = run(core.Options{FailureRate: loss}, int64(i))
+	}
+	b.ReportMetric(plain, "uncompensated_drift_per_time")
+	b.ReportMetric(comp, "compensated_drift_per_time")
+	b.ReportMetric(100000*0.25, "ideal_drift_per_time")
+}
+
+// BenchmarkSupplementalDirectedAttack quantifies §4.1's untraceability
+// argument: survival probability of the endemic object under a directed
+// attack with stale replica-location information, versus the static
+// baseline (which always dies).
+func BenchmarkSupplementalDirectedAttack(b *testing.B) {
+	p := endemic.Params{B: 2, Gamma: 0.2, Alpha: 0.1}
+	atk := replica.AttackConfig{Staleness: 60, MountDelay: 40, Strikes: 2}
+	var surv float64
+	for i := 0; i < b.N; i++ {
+		pr, err := replica.SurvivalProbability(2000, p, atk, 4, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		surv = pr
+	}
+	staticOut, err := replica.AttackStatic(10, atk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(surv, "endemic_survival_prob")
+	b.ReportMetric(boolTo01(!staticOut.Died), "static_survival_prob")
+}
+
+// BenchmarkAblationViewSize exercises the paper's footnote 1: partial
+// membership views of size O(log N) preserve the endemic equilibrium at a
+// fraction of the membership state. Reported: equilibrium stash population
+// under full membership vs log-sized views (analysis: 193).
+func BenchmarkAblationViewSize(b *testing.B) {
+	const n = 20000
+	p := endemic.Params{B: 2, Gamma: 0.1, Alpha: 0.001}
+	run := func(viewSize int, seed int64) float64 {
+		proto, err := endemic.NewFigure1Protocol(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := sim.New(sim.Config{
+			N: n, Protocol: proto,
+			Initial:  map[ode.Var]int{endemic.Receptive: n - n/10, endemic.Stash: n / 10, endemic.Averse: 0},
+			ViewSize: viewSize,
+			Seed:     seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Run(1500)
+		var sum float64
+		for t := 0; t < 500; t++ {
+			e.Step()
+			sum += float64(e.Count(endemic.Stash))
+		}
+		return sum / 500
+	}
+	var full, logView float64
+	for i := 0; i < b.N; i++ {
+		full = run(0, int64(i))
+		logView = run(29, int64(i)) // ~2·log2(20000)
+	}
+	eq := endemic.StableEquilibrium(p.Beta(), p.Gamma, p.Alpha)
+	b.ReportMetric(full, "full_membership_stash")
+	b.ReportMetric(logView, "logN_view_stash")
+	b.ReportMetric(eq.Stash*n, "analysis_stash")
+}
+
+// BenchmarkEngineStep measures raw agent-engine throughput at the paper's
+// full 100,000-host scale (one period per op).
+func BenchmarkEngineStep(b *testing.B) {
+	p := endemic.Params{B: 2, Gamma: 1e-3, Alpha: 1e-6}
+	proto, err := endemic.NewFigure1Protocol(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 100000
+	e, err := sim.New(sim.Config{
+		N: n, Protocol: proto,
+		Initial: map[ode.Var]int{endemic.Receptive: n - 200, endemic.Stash: 100, endemic.Averse: 100},
+		Seed:    1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	b.ReportMetric(float64(n), "procs")
+}
+
+// BenchmarkAggregateStep measures the count-based engine at the same
+// configuration — O(#actions) per period, independent of N.
+func BenchmarkAggregateStep(b *testing.B) {
+	p := endemic.Params{B: 2, Gamma: 1e-3, Alpha: 1e-6}
+	proto, err := endemic.NewFigure1Protocol(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 100000
+	a, err := sim.NewAggregate(proto, map[ode.Var]int{
+		endemic.Receptive: n - 200, endemic.Stash: 100, endemic.Averse: 100,
+	}, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Step()
+	}
+}
+
+// BenchmarkTranslate measures the translation framework itself.
+func BenchmarkTranslate(b *testing.B) {
+	sys := lv.System()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Translate(sys, core.Options{P: 0.01}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func avg(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func boolTo01(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,98 @@
+// Command endemicsim runs parameterized endemic-replication experiments
+// (§4.1/§5.1 of the paper) from the command line.
+//
+// Usage:
+//
+//	endemicsim -n 100000 -b 2 -gamma 0.001 -alpha 0.000001 -periods 10000 -fail-at 5000 -fail-frac 0.5
+//	endemicsim -n 2000 -b 32 -gamma 0.1 -alpha 0.005 -churn -hours 170
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"odeproto/internal/churn"
+	"odeproto/internal/endemic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "endemicsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n        = flag.Int("n", 100000, "group size")
+		b        = flag.Int("b", 2, "contact fan-out b (β = 2b)")
+		gamma    = flag.Float64("gamma", 1e-3, "recovery rate γ")
+		alpha    = flag.Float64("alpha", 1e-6, "susceptibility rate α")
+		periods  = flag.Int("periods", 10000, "protocol periods to run")
+		failAt   = flag.Int("fail-at", -1, "period of a massive failure (-1 = none)")
+		failFrac = flag.Float64("fail-frac", 0.5, "fraction killed in the massive failure")
+		churnOn  = flag.Bool("churn", false, "drive the run with an Overnet-calibrated churn trace")
+		hours    = flag.Float64("hours", 170, "churn trace length in hours (10 periods/hour)")
+		every    = flag.Int("every", 100, "print a sample every this many periods")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	params := endemic.Params{B: *b, Gamma: *gamma, Alpha: *alpha}
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	a := endemic.Analyze(params.Beta(), params.Gamma, params.Alpha)
+	fmt.Printf("equilibrium: x∞=%.4g y∞=%.4g z∞=%.4g (%s); expected stashers %.1f\n",
+		a.Equilibrium.Receptive, a.Equilibrium.Stash, a.Equilibrium.Averse,
+		a.Class, a.Equilibrium.Stash*float64(*n))
+
+	if *churnOn {
+		trace, err := churn.Synthesize(*n, *hours, *seed, churn.Config{})
+		if err != nil {
+			return err
+		}
+		res, err := endemic.RunChurn(endemic.ChurnConfig{
+			N: *n, Params: params, Trace: trace,
+			PeriodsPerHour: 10, RecordFromHour: 0, RecordToHour: *hours,
+			Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("hour\tstash\trcptv\tavers\ttransfers")
+		step := *every
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(res.Hours); i += step {
+			fmt.Printf("%.1f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+				res.Hours[i], res.Stash[i], res.Receptive[i], res.Averse[i], res.RcptvToStash[i])
+		}
+		fmt.Printf("mean alive: %.0f\n", res.MeanAlive)
+		return nil
+	}
+
+	cfg := endemic.MassiveFailureConfig{
+		N: *n, Params: params,
+		FailAt: *failAt, FailFrac: *failFrac,
+		Periods: *periods, RecordFrom: 0, Seed: *seed,
+	}
+	if *failAt < 0 {
+		cfg.FailAt = *periods + 1 // never
+		cfg.FailFrac = 0
+	}
+	res, err := endemic.RunMassiveFailure(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("period\tstash\trcptv\tavers\tflux")
+	for i := 0; i < len(res.Times); i += *every {
+		fmt.Printf("%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+			res.Times[i], res.Stash[i], res.Receptive[i], res.Averse[i], res.Flux[i])
+	}
+	if res.Killed > 0 {
+		fmt.Printf("killed %d at period %d\n", res.Killed, *failAt)
+	}
+	return nil
+}

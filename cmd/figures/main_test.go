@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The figure functions take the output directory and a quick flag, so the
+// fast ones can run under `go test` directly; the expensive ones are
+// covered by the bench harness and `cmd/figures -quick`.
+
+func TestFastFigures(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		fn   figureFunc
+		want []string // artifacts that must exist afterwards
+	}{
+		{"r2", r2, []string{"r2_longevity.dat"}},
+		{"r3", r3, []string{"r3_reality_check.dat"}},
+		{"r4", r4, []string{"r4_convergence.dat", "r4_convergence.svg"}},
+		{"fig8", fig8, []string{"fig8.dat", "fig8.svg"}},
+	}
+	for _, tc := range cases {
+		if err := tc.fn(dir, true); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for _, f := range tc.want {
+			if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+				t.Fatalf("%s: missing artifact %s", tc.name, f)
+			}
+		}
+	}
+}
+
+func TestFigureRegistryNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range figures {
+		if seen[f.name] {
+			t.Fatalf("duplicate figure name %q", f.name)
+		}
+		seen[f.name] = true
+		if f.desc == "" || f.fn == nil {
+			t.Fatalf("figure %q incomplete", f.name)
+		}
+	}
+	// Every figure of the paper's evaluation must be present.
+	for _, want := range []string{"fig2", "fig4", "fig5", "fig7", "fig8", "fig9", "fig11", "fig12", "r1", "r2", "r3", "r4"} {
+		if !seen[want] {
+			t.Fatalf("figure registry missing %q", want)
+		}
+	}
+}
+
+func TestRepeatValue(t *testing.T) {
+	v := repeatValue(2.5, 3)
+	if len(v) != 3 || v[0] != 2.5 || v[2] != 2.5 {
+		t.Fatalf("repeatValue = %v", v)
+	}
+}

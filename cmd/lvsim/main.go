@@ -1,0 +1,60 @@
+// Command lvsim runs parameterized LV majority-selection experiments
+// (§4.2/§5.2 of the paper) from the command line.
+//
+// Usage:
+//
+//	lvsim -n 100000 -x 60000 -y 40000 -periods 1000
+//	lvsim -n 100000 -x 60000 -y 40000 -fail-at 100 -fail-frac 0.5 -periods 1400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"odeproto/internal/lv"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lvsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n        = flag.Int("n", 100000, "group size")
+		x        = flag.Int("x", 60000, "initial processes proposing x")
+		y        = flag.Int("y", 40000, "initial processes proposing y")
+		pNorm    = flag.Float64("p", lv.DefaultP, "normalizing constant p (coin = 3p)")
+		periods  = flag.Int("periods", 1000, "protocol periods to run")
+		failAt   = flag.Int("fail-at", -1, "period of a massive failure (-1 = none)")
+		failFrac = flag.Float64("fail-frac", 0.5, "fraction killed")
+		every    = flag.Int("every", 25, "print a sample every this many periods")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	run, err := lv.Simulate(lv.Config{
+		N: *n, InitialX: *x, InitialY: *y,
+		P: *pNorm, Periods: *periods,
+		FailAt: *failAt, FailFrac: *failFrac,
+		SampleEvery: *every, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("period\tx\ty\tz")
+	for i := range run.Times {
+		fmt.Printf("%.0f\t%.0f\t%.0f\t%.0f\n", run.Times[i], run.X[i], run.Y[i], run.Z[i])
+	}
+	if run.Killed > 0 {
+		fmt.Printf("killed %d at period %d\n", run.Killed, *failAt)
+	}
+	if run.ConvergedAt >= 0 {
+		fmt.Printf("converged to %s at period %d\n", run.Winner, run.ConvergedAt)
+	} else {
+		fmt.Println("not converged within the simulated horizon")
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+// Command odeproto is the front door to the translation framework: it
+// reads a differential equation system in the text DSL, classifies it
+// against the paper's taxonomy (§2), optionally rewrites it into mappable
+// form (§7), translates it into a distributed protocol (§3/§6), and can
+// simulate the protocol (§5).
+//
+// Usage:
+//
+//	odeproto -file endemic.ode -params beta=4,gamma=1,alpha=0.01
+//	odeproto -file lv.ode -p 0.01 -simulate 100000 -initial x=60000,y=40000 -periods 1000
+//
+// The DSL has one equation per line, e.g.:
+//
+//	x' = -beta*x*y + alpha*z
+//	y' = beta*x*y - gamma*y
+//	z' = gamma*y - alpha*z
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"odeproto/internal/core"
+	"odeproto/internal/dynamics"
+	"odeproto/internal/ode"
+	"odeproto/internal/rewrite"
+	"odeproto/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "odeproto:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("odeproto", flag.ContinueOnError)
+	var (
+		file      = fs.String("file", "", "equation system file (DSL); '-' for stdin")
+		params    = fs.String("params", "", "comma-separated parameter values, e.g. beta=4,gamma=1")
+		pFlag     = fs.Float64("p", 0, "normalizing constant p (0 = auto)")
+		failure   = fs.Float64("f", 0, "compensated connection failure rate")
+		rewriteIt = fs.Bool("rewrite", true, "rewrite non-mappable systems (§7) before translating")
+		slack     = fs.String("slack", "z", "slack variable name used by rewriting")
+		analyze   = fs.Bool("analyze", false, "locate and classify equilibria")
+		simulate  = fs.Int("simulate", 0, "simulate the protocol over this many processes")
+		initial   = fs.String("initial", "", "initial counts, e.g. x=900,y=100")
+		periods   = fs.Int("periods", 100, "periods to simulate")
+		seed      = fs.Int64("seed", 1, "simulation seed")
+		every     = fs.Int("every", 10, "print simulated counts every this many periods")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -file")
+	}
+	src, err := readSource(*file)
+	if err != nil {
+		return err
+	}
+	paramMap, err := parseKV(*params)
+	if err != nil {
+		return err
+	}
+
+	sys, err := ode.Parse(src, paramMap)
+	if err != nil {
+		return err
+	}
+	fmt.Println("equations:")
+	fmt.Println(indent(sys.String()))
+	cls := sys.Classify()
+	fmt.Printf("taxonomy: %s\n", cls)
+
+	if !cls.Mappable() {
+		if !*rewriteIt {
+			return fmt.Errorf("system is not mappable and -rewrite=false")
+		}
+		rewritten, err := rewrite.MakeMappable(sys, ode.Var(*slack))
+		if err != nil {
+			return fmt.Errorf("rewriting failed: %w", err)
+		}
+		sys = rewritten
+		fmt.Println("rewritten (complete + homogenized + split):")
+		fmt.Println(indent(sys.String()))
+		fmt.Printf("taxonomy: %s\n", sys.Classify())
+	}
+
+	proto, err := core.Translate(sys, core.Options{P: *pFlag, FailureRate: *failure})
+	if err != nil {
+		return err
+	}
+	fmt.Println("protocol:")
+	fmt.Print(indent(proto.String()))
+	for _, s := range proto.States {
+		fmt.Printf("  state %s sends %d sampling message(s) per period\n", s, proto.SamplingMessages(s))
+	}
+
+	if *analyze {
+		if err := analyzeSystem(sys); err != nil {
+			return err
+		}
+	}
+	if *simulate > 0 {
+		return runSimulation(proto, *simulate, *initial, *periods, *seed, *every)
+	}
+	return nil
+}
+
+func analyzeSystem(sys *ode.System) error {
+	fmt.Println("equilibria (Newton from a simplex seed grid):")
+	vars := sys.Vars()
+	elim := vars[len(vars)-1]
+	seeds := simplexSeeds(vars)
+	eqs := dynamics.FindEquilibria(sys, elim, seeds)
+	if len(eqs) == 0 {
+		fmt.Println("  none found")
+		return nil
+	}
+	for _, e := range eqs {
+		var parts []string
+		for _, v := range vars {
+			parts = append(parts, fmt.Sprintf("%s=%.6g", v, e.Point[v]))
+		}
+		fmt.Printf("  (%s): %s, eigenvalues %v\n", strings.Join(parts, ", "), e.Class, e.Eigenvalues)
+	}
+	return nil
+}
+
+// simplexSeeds returns a coarse grid of seed points on the simplex.
+func simplexSeeds(vars []ode.Var) []map[ode.Var]float64 {
+	var seeds []map[ode.Var]float64
+	fracs := []float64{0.01, 0.33, 0.9}
+	m := len(vars)
+	var build func(i int, remaining float64, cur map[ode.Var]float64)
+	build = func(i int, remaining float64, cur map[ode.Var]float64) {
+		if i == m-1 {
+			point := make(map[ode.Var]float64, m)
+			for k, v := range cur {
+				point[k] = v
+			}
+			point[vars[i]] = remaining
+			seeds = append(seeds, point)
+			return
+		}
+		for _, f := range fracs {
+			take := remaining * f
+			cur[vars[i]] = take
+			build(i+1, remaining-take, cur)
+		}
+		delete(cur, vars[i])
+	}
+	build(0, 1, make(map[ode.Var]float64))
+	return seeds
+}
+
+func runSimulation(proto *core.Protocol, n int, initialSpec string, periods int, seed int64, every int) error {
+	counts := make(map[ode.Var]int, len(proto.States))
+	if initialSpec == "" {
+		// Uniform split with remainder on the first state.
+		per := n / len(proto.States)
+		rem := n - per*len(proto.States)
+		for i, s := range proto.States {
+			counts[s] = per
+			if i == 0 {
+				counts[s] += rem
+			}
+		}
+	} else {
+		kv, err := parseKV(initialSpec)
+		if err != nil {
+			return err
+		}
+		total := 0
+		for k, v := range kv {
+			counts[ode.Var(k)] = int(v)
+			total += int(v)
+		}
+		if rest := n - total; rest > 0 {
+			counts[proto.States[len(proto.States)-1]] += rest
+		}
+	}
+	e, err := sim.New(sim.Config{N: n, Protocol: proto, Initial: counts, Seed: seed})
+	if err != nil {
+		return err
+	}
+	if every < 1 {
+		every = 1
+	}
+	header := []string{"period"}
+	for _, s := range proto.States {
+		header = append(header, string(s))
+	}
+	fmt.Println(strings.Join(header, "\t"))
+	for t := 0; t <= periods; t++ {
+		if t%every == 0 {
+			row := []string{strconv.Itoa(t)}
+			for _, s := range proto.States {
+				row = append(row, strconv.Itoa(e.Count(s)))
+			}
+			fmt.Println(strings.Join(row, "\t"))
+		}
+		if t < periods {
+			e.Step()
+		}
+	}
+	return nil
+}
+
+func readSource(path string) (string, error) {
+	if path == "-" {
+		data, err := os.ReadFile("/dev/stdin")
+		if err != nil {
+			return "", err
+		}
+		return string(data), nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+func parseKV(spec string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	if strings.TrimSpace(spec) == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad key=value pair %q", part)
+		}
+		v, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q: %w", part, err)
+		}
+		out[strings.TrimSpace(kv[0])] = v
+	}
+	return out, nil
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,20 @@
+// Package odeproto is a Go reproduction of "On the Design of Distributed
+// Protocols from Differential Equations" (Indranil Gupta, ACM PODC 2004).
+//
+// The library translates systems of polynomial differential equations into
+// executable distributed protocols (internal/core), provides the paper's
+// equation taxonomy and rewriting techniques (internal/ode,
+// internal/rewrite), the nonlinear-dynamics analysis toolkit
+// (internal/dynamics, internal/linalg, internal/solver), the two case-study
+// protocols — endemic migratory replication (internal/endemic) and
+// Lotka–Volterra majority selection (internal/lv) — the epidemic motivating
+// example (internal/epidemic), and the simulation substrates needed to
+// regenerate every figure of the paper's evaluation (internal/sim,
+// internal/asyncnet, internal/churn, internal/membership,
+// internal/replica, internal/mt19937, internal/stats, internal/plot).
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-vs-measured record. The benchmarks in
+// bench_test.go regenerate each experiment at reduced scale; cmd/figures
+// regenerates them at paper scale.
+package odeproto

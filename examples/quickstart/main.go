@@ -1,0 +1,64 @@
+// Quickstart: the shortest path through the library — write differential
+// equations, translate them into a distributed protocol, and simulate it.
+//
+// The equations are the paper's motivating example (§1), epidemics:
+//
+//	ẋ = −xy    (susceptible fraction)
+//	ẏ = +xy    (infected fraction)
+//
+// The framework compiles them into the canonical pull anti-entropy
+// protocol, which infects all N processes in O(log N) rounds.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"odeproto/internal/core"
+	"odeproto/internal/ode"
+	"odeproto/internal/sim"
+)
+
+func main() {
+	// 1. Write the equations in the DSL.
+	system, err := ode.Parse("x' = -x*y\ny' = x*y", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("equations:")
+	fmt.Println(system)
+
+	// 2. Check where they sit in the paper's taxonomy (§2).
+	fmt.Println("taxonomy:", system.Classify())
+
+	// 3. Translate them into a distributed protocol (§3).
+	protocol, err := core.Translate(system, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("protocol:")
+	fmt.Print(protocol)
+
+	// 4. Simulate 10,000 processes with one initial "infective".
+	const n = 10000
+	engine, err := sim.New(sim.Config{
+		N:        n,
+		Protocol: protocol,
+		Initial:  map[ode.Var]int{"x": n - 1, "y": 1},
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nround  susceptible  infected")
+	for round := 0; engine.Count("x") > 0; round++ {
+		fmt.Printf("%5d  %11d  %8d\n", round, engine.Count("x"), engine.Count("y"))
+		engine.Step()
+	}
+	fmt.Printf("\neveryone infected after %d rounds (O(log N) = %.1f)\n",
+		engine.Period(), 2*float64(14)) // log2(10000) ≈ 13.3
+}

@@ -1,0 +1,207 @@
+package asyncnet
+
+import (
+	"testing"
+	"time"
+
+	"odeproto/internal/core"
+	"odeproto/internal/endemic"
+	"odeproto/internal/ode"
+)
+
+func mustTranslate(t *testing.T, src string, opts core.Options) *core.Protocol {
+	t.Helper()
+	sys, err := ode.Parse(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := core.Translate(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proto
+}
+
+func TestRunValidation(t *testing.T) {
+	proto := mustTranslate(t, "x' = -x*y\ny' = x*y", core.Options{})
+	cases := []Config{
+		{N: 1, Protocol: proto, Periods: 1, Initial: map[ode.Var]int{"x": 1}},
+		{N: 10, Periods: 1},
+		{N: 10, Protocol: proto, Periods: 0, Initial: map[ode.Var]int{"x": 10}},
+		{N: 10, Protocol: proto, Periods: 1, Initial: map[ode.Var]int{"x": 5}},
+		{N: 10, Protocol: proto, Periods: 1, Initial: map[ode.Var]int{"x": 9, "q": 1}},
+		{N: 10, Protocol: proto, Periods: 1, Initial: map[ode.Var]int{"x": 10}, Drift: 2},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// TestEpidemicConvergesAsynchronously: the canonical pull epidemic reaches
+// (essentially) everyone despite drifting clocks, delays and message loss.
+// The runtime is wall-clock driven, so on a loaded machine some query
+// replies miss their timeout and the trial is lost; the period budget is
+// therefore generous and one straggler is tolerated.
+func TestEpidemicConvergesAsynchronously(t *testing.T) {
+	proto := mustTranslate(t, "x' = -x*y\ny' = x*y", core.Options{})
+	res, err := Run(Config{
+		N:          150,
+		Protocol:   proto,
+		Initial:    map[ode.Var]int{"x": 140, "y": 10},
+		Seed:       1,
+		Periods:    120,
+		BasePeriod: 3 * time.Millisecond,
+		Drift:      0.2,
+		DropProb:   0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts["x"] > 1 {
+		t.Fatalf("asynchronous epidemic left %d susceptibles after 120 periods", res.Counts["x"])
+	}
+	total := 0
+	for _, c := range res.Counts {
+		total += c
+	}
+	if total != 150 {
+		t.Fatalf("population not conserved: %v", res.Counts)
+	}
+	if res.MessagesSent == 0 {
+		t.Fatal("no messages sent")
+	}
+}
+
+// TestPopulationConserved: counts always sum to N whatever the protocol.
+func TestPopulationConserved(t *testing.T) {
+	proto, err := endemic.NewFigure1Protocol(endemic.Params{B: 2, Gamma: 0.2, Alpha: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		N:        120,
+		Protocol: proto,
+		Initial:  map[ode.Var]int{endemic.Receptive: 60, endemic.Stash: 40, endemic.Averse: 20},
+		Seed:     2,
+		Periods:  40,
+		DropProb: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range res.Counts {
+		total += c
+	}
+	if total != 120 {
+		t.Fatalf("population %d, want 120: %v", total, res.Counts)
+	}
+}
+
+// TestEndemicSurvivesAsynchrony: stash population persists (probabilistic
+// safety) on the asynchronous runtime.
+func TestEndemicSurvivesAsynchrony(t *testing.T) {
+	proto, err := endemic.NewFigure1Protocol(endemic.Params{B: 2, Gamma: 0.1, Alpha: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		N:        200,
+		Protocol: proto,
+		Initial:  map[ode.Var]int{endemic.Receptive: 150, endemic.Stash: 50, endemic.Averse: 0},
+		Seed:     3,
+		Periods:  80,
+		Drift:    0.2,
+		DropProb: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[endemic.Stash] == 0 {
+		t.Fatalf("all replicas lost on asynchronous runtime: %v", res.Counts)
+	}
+	// The endemic mix keeps all three transition edges busy.
+	if res.Transitions[[2]ode.Var{endemic.Receptive, endemic.Stash}] == 0 {
+		t.Fatal("no file transfers happened")
+	}
+	if res.Transitions[[2]ode.Var{endemic.Stash, endemic.Averse}] == 0 {
+		t.Fatal("no deletions happened")
+	}
+}
+
+// TestTokenProtocolAsync: tokenizing works over the random-walk TTL path.
+func TestTokenProtocolAsync(t *testing.T) {
+	proto := mustTranslate(t, "x' = -y^2\ny' = y^2", core.Options{})
+	res, err := Run(Config{
+		N:        100,
+		Protocol: proto,
+		Initial:  map[ode.Var]int{"x": 50, "y": 50},
+		Seed:     4,
+		Periods:  50,
+		TokenTTL: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts["y"] <= 50 {
+		t.Fatalf("token flow x→y did not happen: %v", res.Counts)
+	}
+}
+
+// TestHeavyLossStillProgresses: 30% loss slows but does not stop the
+// epidemic.
+func TestHeavyLossStillProgresses(t *testing.T) {
+	proto := mustTranslate(t, "x' = -x*y\ny' = x*y", core.Options{})
+	res, err := Run(Config{
+		N:        100,
+		Protocol: proto,
+		Initial:  map[ode.Var]int{"x": 50, "y": 50},
+		Seed:     5,
+		Periods:  30,
+		DropProb: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts["y"] <= 55 {
+		t.Fatalf("no progress under loss: %v", res.Counts)
+	}
+}
+
+// TestLVMajorityAsync: majority selection also works on the asynchronous
+// runtime — drifting clocks do not break competitive exclusion.
+func TestLVMajorityAsync(t *testing.T) {
+	sys, err := ode.Parse(`
+x' = 3*x*z - 3*x*y
+y' = 3*y*z - 3*x*y
+z' = -3*x*z - 3*y*z + 3*x*y + 3*x*y
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := core.Translate(sys, core.Options{P: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		N:        200,
+		Protocol: proto,
+		Initial:  map[ode.Var]int{"x": 140, "y": 60, "z": 0},
+		Seed:     9,
+		Periods:  150,
+		Drift:    0.2,
+		DropProb: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts["x"] <= res.Counts["y"] {
+		t.Fatalf("majority not preserved asynchronously: %v", res.Counts)
+	}
+	// Strong convergence: the minority should be (nearly) extinct.
+	if res.Counts["y"] > 20 {
+		t.Fatalf("minority population still large: %v", res.Counts)
+	}
+}

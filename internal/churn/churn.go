@@ -1,0 +1,221 @@
+// Package churn synthesizes and replays host-availability traces for the
+// paper's churn experiments (Figures 9 and 10).
+//
+// The paper injects availability traces measured on the Overnet network
+// (Bhagwan, Savage, Voelker, IPTPS 2003): hourly samples, hourly churn
+// between 10% and 25% of the system size, and an average of 6.4
+// joins/day/host, with events spread out over each hour. The original
+// traces are not redistributable, so Synthesize generates per-host
+// alternating up/down renewal processes (exponential sojourn times)
+// calibrated to those published statistics; Trace.HourlyChurnRates and
+// Trace.JoinsPerDay let experiments verify the calibration.
+package churn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"odeproto/internal/mt19937"
+)
+
+// Event is one availability transition of one host.
+type Event struct {
+	// Time is in hours from trace start.
+	Time float64
+	// Host is the host index in [0, Hosts).
+	Host int
+	// Up is true for a join (arrival), false for a departure.
+	Up bool
+}
+
+// Trace is a time-ordered host availability trace.
+type Trace struct {
+	Hosts    int
+	Duration float64 // hours
+	// InitiallyUp[h] reports whether host h is up at time 0.
+	InitiallyUp []bool
+	// Events are sorted by Time.
+	Events []Event
+}
+
+// Config calibrates the synthetic availability model.
+type Config struct {
+	// MeanUpHours is the mean session (up) duration. The default 2.5h,
+	// with the matching down time, yields ~4.8 joins/day and ~20% hourly
+	// churn — inside the paper's 10–25% band.
+	MeanUpHours float64
+	// MeanDownHours is the mean downtime duration (default 2.5h).
+	MeanDownHours float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MeanUpHours <= 0 {
+		c.MeanUpHours = 2.5
+	}
+	if c.MeanDownHours <= 0 {
+		c.MeanDownHours = 2.5
+	}
+	return c
+}
+
+// Synthesize generates a trace of the given size and duration.
+func Synthesize(hosts int, hours float64, seed int64, cfg Config) (*Trace, error) {
+	if hosts <= 0 {
+		return nil, fmt.Errorf("churn: hosts %d must be positive", hosts)
+	}
+	if hours <= 0 {
+		return nil, fmt.Errorf("churn: duration %v must be positive", hours)
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(mt19937.New(seed))
+	availability := cfg.MeanUpHours / (cfg.MeanUpHours + cfg.MeanDownHours)
+
+	tr := &Trace{
+		Hosts:       hosts,
+		Duration:    hours,
+		InitiallyUp: make([]bool, hosts),
+	}
+	for h := 0; h < hosts; h++ {
+		up := rng.Float64() < availability
+		tr.InitiallyUp[h] = up
+		t := 0.0
+		for {
+			var sojourn float64
+			if up {
+				sojourn = rng.ExpFloat64() * cfg.MeanUpHours
+			} else {
+				sojourn = rng.ExpFloat64() * cfg.MeanDownHours
+			}
+			t += sojourn
+			if t >= hours {
+				break
+			}
+			up = !up
+			tr.Events = append(tr.Events, Event{Time: t, Host: h, Up: up})
+		}
+	}
+	sort.SliceStable(tr.Events, func(i, j int) bool { return tr.Events[i].Time < tr.Events[j].Time })
+	return tr, nil
+}
+
+// EventsBetween returns the events with Time in [t0, t1).
+func (tr *Trace) EventsBetween(t0, t1 float64) []Event {
+	lo := sort.Search(len(tr.Events), func(i int) bool { return tr.Events[i].Time >= t0 })
+	hi := sort.Search(len(tr.Events), func(i int) bool { return tr.Events[i].Time >= t1 })
+	return tr.Events[lo:hi]
+}
+
+// UpCountAt returns the number of hosts up at time t.
+func (tr *Trace) UpCountAt(t float64) int {
+	up := 0
+	state := append([]bool(nil), tr.InitiallyUp...)
+	for _, e := range tr.Events {
+		if e.Time > t {
+			break
+		}
+		state[e.Host] = e.Up
+	}
+	for _, s := range state {
+		if s {
+			up++
+		}
+	}
+	return up
+}
+
+// JoinsPerDay returns the average number of joins per host per day, the
+// statistic the paper quotes as 6.4/day for Overnet.
+func (tr *Trace) JoinsPerDay() float64 {
+	joins := 0
+	for _, e := range tr.Events {
+		if e.Up {
+			joins++
+		}
+	}
+	days := tr.Duration / 24
+	if days == 0 || tr.Hosts == 0 {
+		return 0
+	}
+	return float64(joins) / float64(tr.Hosts) / days
+}
+
+// HourlyChurnRates returns, for each whole hour of the trace, the number
+// of departures during that hour divided by the system size — the paper's
+// "hourly churn rate of 10% to 25% of the system size".
+func (tr *Trace) HourlyChurnRates() []float64 {
+	hours := int(math.Floor(tr.Duration))
+	out := make([]float64, hours)
+	for _, e := range tr.Events {
+		if e.Up {
+			continue
+		}
+		h := int(e.Time)
+		if h >= 0 && h < hours {
+			out[h]++
+		}
+	}
+	for i := range out {
+		out[i] /= float64(tr.Hosts)
+	}
+	return out
+}
+
+// MeanAvailability returns the time-averaged fraction of hosts up, sampled
+// hourly.
+func (tr *Trace) MeanAvailability() float64 {
+	hours := int(math.Floor(tr.Duration))
+	if hours == 0 {
+		return 0
+	}
+	state := append([]bool(nil), tr.InitiallyUp...)
+	idx := 0
+	var sum float64
+	for h := 0; h < hours; h++ {
+		t := float64(h)
+		for idx < len(tr.Events) && tr.Events[idx].Time <= t {
+			state[tr.Events[idx].Host] = tr.Events[idx].Up
+			idx++
+		}
+		up := 0
+		for _, s := range state {
+			if s {
+				up++
+			}
+		}
+		sum += float64(up) / float64(tr.Hosts)
+	}
+	return sum / float64(hours)
+}
+
+// Replayer feeds a trace into a simulation period by period.
+type Replayer struct {
+	trace          *Trace
+	periodsPerHour float64
+	cursor         int
+}
+
+// NewReplayer wraps a trace for a simulation running the given number of
+// protocol periods per hour (the paper uses 6-minute periods, i.e. 10
+// periods/hour).
+func NewReplayer(trace *Trace, periodsPerHour float64) (*Replayer, error) {
+	if periodsPerHour <= 0 {
+		return nil, fmt.Errorf("churn: periodsPerHour %v must be positive", periodsPerHour)
+	}
+	return &Replayer{trace: trace, periodsPerHour: periodsPerHour}, nil
+}
+
+// Next returns the events that occur during protocol period number
+// `period` (0-based). Periods must be requested in increasing order.
+func (r *Replayer) Next(period int) []Event {
+	t1 := float64(period+1) / r.periodsPerHour
+	start := r.cursor
+	for r.cursor < len(r.trace.Events) && r.trace.Events[r.cursor].Time < t1 {
+		r.cursor++
+	}
+	return r.trace.Events[start:r.cursor]
+}
+
+// Reset rewinds the replayer.
+func (r *Replayer) Reset() { r.cursor = 0 }

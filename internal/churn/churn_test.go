@@ -1,0 +1,155 @@
+package churn
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func synth(t *testing.T, hosts int, hours float64, cfg Config) *Trace {
+	t.Helper()
+	tr, err := Synthesize(hosts, hours, 42, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	if _, err := Synthesize(0, 10, 1, Config{}); err == nil {
+		t.Fatal("zero hosts accepted")
+	}
+	if _, err := Synthesize(10, 0, 1, Config{}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestEventsSorted(t *testing.T) {
+	tr := synth(t, 500, 48, Config{})
+	if !sort.SliceIsSorted(tr.Events, func(i, j int) bool { return tr.Events[i].Time < tr.Events[j].Time }) {
+		t.Fatal("events not sorted")
+	}
+	for _, e := range tr.Events {
+		if e.Time < 0 || e.Time >= 48 {
+			t.Fatalf("event time %v out of range", e.Time)
+		}
+		if e.Host < 0 || e.Host >= 500 {
+			t.Fatalf("event host %d out of range", e.Host)
+		}
+	}
+}
+
+func TestEventsAlternatePerHost(t *testing.T) {
+	tr := synth(t, 100, 72, Config{})
+	state := append([]bool(nil), tr.InitiallyUp...)
+	for _, e := range tr.Events {
+		if state[e.Host] == e.Up {
+			t.Fatalf("host %d has two consecutive %v events", e.Host, e.Up)
+		}
+		state[e.Host] = e.Up
+	}
+}
+
+// TestCalibrationMatchesOvernetStats: default parameters must land in the
+// paper's published bands — hourly churn within [10%, 25%] on average, and
+// joins/day within a factor ~1.5 of 6.4.
+func TestCalibrationMatchesOvernetStats(t *testing.T) {
+	tr := synth(t, 2000, 200, Config{})
+	rates := tr.HourlyChurnRates()
+	var mean float64
+	for _, r := range rates {
+		mean += r
+	}
+	mean /= float64(len(rates))
+	if mean < 0.10 || mean > 0.25 {
+		t.Fatalf("mean hourly churn %v outside the paper's [0.10, 0.25] band", mean)
+	}
+	jpd := tr.JoinsPerDay()
+	if jpd < 4 || jpd > 9 {
+		t.Fatalf("joins/day %v too far from the Overnet 6.4", jpd)
+	}
+}
+
+func TestMeanAvailability(t *testing.T) {
+	tr := synth(t, 1000, 100, Config{MeanUpHours: 3, MeanDownHours: 1})
+	got := tr.MeanAvailability()
+	if math.Abs(got-0.75) > 0.05 {
+		t.Fatalf("availability %v, want ≈ 0.75", got)
+	}
+}
+
+func TestEventsBetween(t *testing.T) {
+	tr := synth(t, 200, 50, Config{})
+	window := tr.EventsBetween(10, 11)
+	for _, e := range window {
+		if e.Time < 10 || e.Time >= 11 {
+			t.Fatalf("event at %v outside window", e.Time)
+		}
+	}
+	all := tr.EventsBetween(0, 50)
+	if len(all) != len(tr.Events) {
+		t.Fatalf("full window returned %d of %d events", len(all), len(tr.Events))
+	}
+}
+
+func TestUpCountConsistency(t *testing.T) {
+	tr := synth(t, 300, 30, Config{})
+	up0 := 0
+	for _, u := range tr.InitiallyUp {
+		if u {
+			up0++
+		}
+	}
+	if got := tr.UpCountAt(0); got != up0 {
+		t.Fatalf("UpCountAt(0) = %d, want %d", got, up0)
+	}
+	mid := tr.UpCountAt(15)
+	if mid <= 0 || mid >= 300 {
+		t.Fatalf("UpCountAt(15) = %d implausible", mid)
+	}
+}
+
+func TestReplayerCoversAllEvents(t *testing.T) {
+	tr := synth(t, 400, 20, Config{})
+	rep, err := NewReplayer(tr, 10) // 6-minute periods
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for p := 0; p < 200; p++ { // 200 periods = 20 hours
+		total += len(rep.Next(p))
+	}
+	if total != len(tr.Events) {
+		t.Fatalf("replayed %d events, trace has %d", total, len(tr.Events))
+	}
+	rep.Reset()
+	if got := len(rep.Next(0)); got != len(tr.EventsBetween(0, 0.1)) {
+		t.Fatalf("reset replay mismatch: %d", got)
+	}
+}
+
+func TestReplayerValidation(t *testing.T) {
+	tr := synth(t, 10, 5, Config{})
+	if _, err := NewReplayer(tr, 0); err == nil {
+		t.Fatal("zero periodsPerHour accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Synthesize(100, 24, 7, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(100, 24, 7, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("same seed gave different traces")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}

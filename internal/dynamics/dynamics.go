@@ -1,0 +1,385 @@
+// Package dynamics provides the nonlinear-dynamics analysis toolkit the
+// paper applies to its generated protocols (§4.1.3, §4.2.2): equilibrium
+// finding, linearization, trace/determinant and eigenvalue classification
+// of equilibria (after Strogatz), and perturbation analysis.
+//
+// Complete equation systems conserve Σx, so their Jacobians are singular
+// along the conservation direction; the package therefore offers both
+// unconstrained linearization and simplex-constrained linearization (which
+// eliminates one variable through z = 1 − Σ others) — the latter is what
+// the paper effectively does when it reduces the endemic system to the 2×2
+// matrix A of equation (4).
+package dynamics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"odeproto/internal/linalg"
+	"odeproto/internal/ode"
+)
+
+// EquilibriumClass labels the local behaviour around an equilibrium point,
+// following the trace–determinant classification of Strogatz used by the
+// paper.
+type EquilibriumClass int
+
+const (
+	// StableNode: all eigenvalues real and negative.
+	StableNode EquilibriumClass = iota + 1
+	// StableSpiral: complex eigenvalues with negative real part — the
+	// damped-oscillation convergence the paper observes for endemics
+	// (Figure 2).
+	StableSpiral
+	// UnstableNode: all eigenvalues real and positive.
+	UnstableNode
+	// UnstableSpiral: complex eigenvalues with positive real part.
+	UnstableSpiral
+	// Saddle: real eigenvalues of both signs (Δ < 0 in 2D) — "partly
+	// stable", like the endemic first equilibrium.
+	Saddle
+	// Center: purely imaginary eigenvalues.
+	Center
+	// Degenerate: at least one zero eigenvalue; linearization does not
+	// decide stability.
+	Degenerate
+)
+
+// String names the class.
+func (c EquilibriumClass) String() string {
+	switch c {
+	case StableNode:
+		return "stable node"
+	case StableSpiral:
+		return "stable spiral"
+	case UnstableNode:
+		return "unstable node"
+	case UnstableSpiral:
+		return "unstable spiral"
+	case Saddle:
+		return "saddle"
+	case Center:
+		return "center"
+	case Degenerate:
+		return "degenerate"
+	default:
+		return fmt.Sprintf("EquilibriumClass(%d)", int(c))
+	}
+}
+
+// Stable reports whether small perturbations die out (asymptotic
+// stability).
+func (c EquilibriumClass) Stable() bool {
+	return c == StableNode || c == StableSpiral
+}
+
+// ClassifyTraceDet classifies a 2D equilibrium from the trace τ and
+// determinant Δ of its linearization, exactly as in the paper's proof of
+// Theorem 3: τ < 0 ∧ Δ > 0 ⇒ stable; τ > 0 ∧ Δ > 0 ⇒ unstable;
+// Δ < 0 ⇒ saddle. The spiral/node split is τ² − 4Δ < 0 vs > 0.
+func ClassifyTraceDet(tau, delta float64) EquilibriumClass {
+	const eps = 1e-12
+	switch {
+	case delta < -eps:
+		return Saddle
+	case math.Abs(delta) <= eps:
+		return Degenerate
+	case math.Abs(tau) <= eps:
+		return Center
+	}
+	disc := tau*tau - 4*delta
+	if tau < 0 {
+		if disc < 0 {
+			return StableSpiral
+		}
+		return StableNode
+	}
+	if disc < 0 {
+		return UnstableSpiral
+	}
+	return UnstableNode
+}
+
+// ClassifyEigenvalues classifies an equilibrium from the eigenvalues of its
+// linearization, for any dimension.
+func ClassifyEigenvalues(eigs []complex128) EquilibriumClass {
+	const eps = 1e-9
+	anyZero, anyComplex := false, false
+	pos, neg := 0, 0
+	for _, e := range eigs {
+		re, im := real(e), imag(e)
+		if math.Abs(re) <= eps {
+			if math.Abs(im) > eps {
+				anyComplex = true
+				anyZero = true // purely imaginary: candidate center
+				continue
+			}
+			anyZero = true
+			continue
+		}
+		if math.Abs(im) > eps {
+			anyComplex = true
+		}
+		if re > 0 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	switch {
+	case pos > 0 && neg > 0:
+		return Saddle
+	case anyZero && pos == 0 && neg == 0 && anyComplex:
+		return Center
+	case anyZero:
+		return Degenerate
+	case pos == 0:
+		if anyComplex {
+			return StableSpiral
+		}
+		return StableNode
+	default:
+		if anyComplex {
+			return UnstableSpiral
+		}
+		return UnstableNode
+	}
+}
+
+// Linearize evaluates the Jacobian of the system at the point.
+func Linearize(s *ode.System, point map[ode.Var]float64) *linalg.Matrix {
+	jac := s.JacobianAt(point)
+	return linalg.FromRows(jac)
+}
+
+// LinearizeOnSimplex evaluates the Jacobian restricted to the invariant
+// simplex Σx = const by eliminating the variable elim through the chain
+// rule ∂/∂x_j |constrained = ∂/∂x_j − ∂/∂elim. The returned matrix is
+// (m−1)×(m−1) over the remaining variables in system order, and carries
+// the stability information the full (singular) Jacobian hides.
+func LinearizeOnSimplex(s *ode.System, elim ode.Var, point map[ode.Var]float64) (*linalg.Matrix, []ode.Var, error) {
+	vars := s.Vars()
+	elimIdx := -1
+	for i, v := range vars {
+		if v == elim {
+			elimIdx = i
+			break
+		}
+	}
+	if elimIdx < 0 {
+		return nil, nil, fmt.Errorf("dynamics: variable %q not in system", elim)
+	}
+	full := s.JacobianAt(point)
+	kept := make([]ode.Var, 0, len(vars)-1)
+	for _, v := range vars {
+		if v != elim {
+			kept = append(kept, v)
+		}
+	}
+	out := linalg.NewMatrix(len(kept), len(kept))
+	ri := 0
+	for i, vi := range vars {
+		if vi == elim {
+			continue
+		}
+		cj := 0
+		for j, vj := range vars {
+			if vj == elim {
+				continue
+			}
+			out.Set(ri, cj, full[i][j]-full[i][elimIdx])
+			cj++
+		}
+		ri++
+	}
+	return out, kept, nil
+}
+
+// Equilibrium bundles a located equilibrium with its classification.
+type Equilibrium struct {
+	Point       map[ode.Var]float64
+	Eigenvalues []complex128
+	Class       EquilibriumClass
+}
+
+// ErrNoConvergence is returned when Newton iteration fails to locate an
+// equilibrium from a seed.
+var ErrNoConvergence = errors.New("dynamics: Newton iteration did not converge")
+
+// NewtonEquilibrium refines a seed to an equilibrium of a complete system.
+// Because a complete system's Jacobian is singular (columns sum to zero),
+// the last equation is replaced by the conservation constraint
+// Σx = Σ seed, pinning the simplex leaf. tol bounds ‖f(x)‖∞ at acceptance.
+func NewtonEquilibrium(s *ode.System, seed map[ode.Var]float64, tol float64, maxIter int) (map[ode.Var]float64, error) {
+	vars := s.Vars()
+	m := len(vars)
+	x := s.VecFromPoint(seed)
+	var total float64
+	for _, v := range x {
+		total += v
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		point := s.PointFromVec(x)
+		f := s.EvalVec(x)
+		// Residual with conservation row.
+		res := make([]float64, m)
+		copy(res, f[:m-1])
+		var sum float64
+		for _, v := range x {
+			sum += v
+		}
+		res[m-1] = sum - total
+
+		norm := 0.0
+		for _, r := range res {
+			if a := math.Abs(r); a > norm {
+				norm = a
+			}
+		}
+		if norm <= tol {
+			return point, nil
+		}
+
+		jac := s.JacobianAt(point)
+		aug := linalg.NewMatrix(m, m)
+		for i := 0; i < m-1; i++ {
+			for j := 0; j < m; j++ {
+				aug.Set(i, j, jac[i][j])
+			}
+		}
+		for j := 0; j < m; j++ {
+			aug.Set(m-1, j, 1)
+		}
+		step, err := aug.Solve(res)
+		if err != nil {
+			return nil, fmt.Errorf("dynamics: singular constrained Jacobian: %w", err)
+		}
+		for i := range x {
+			x[i] -= step[i]
+		}
+	}
+	return nil, ErrNoConvergence
+}
+
+// FindEquilibria runs NewtonEquilibrium from every seed, deduplicates the
+// results (L∞ distance below 1e-6), and classifies each equilibrium on the
+// simplex by eliminating the given variable. Seeds that fail to converge
+// are skipped.
+func FindEquilibria(s *ode.System, elim ode.Var, seeds []map[ode.Var]float64) []Equilibrium {
+	var out []Equilibrium
+	for _, seed := range seeds {
+		point, err := NewtonEquilibrium(s, seed, 1e-12, 200)
+		if err != nil {
+			continue
+		}
+		dup := false
+		for _, e := range out {
+			maxd := 0.0
+			for _, v := range s.Vars() {
+				if d := math.Abs(e.Point[v] - point[v]); d > maxd {
+					maxd = d
+				}
+			}
+			if maxd < 1e-6 {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		eq, err := ClassifyOnSimplex(s, elim, point)
+		if err != nil {
+			continue
+		}
+		out = append(out, eq)
+	}
+	return out
+}
+
+// ClassifyOnSimplex classifies the equilibrium at point using the
+// simplex-constrained linearization.
+func ClassifyOnSimplex(s *ode.System, elim ode.Var, point map[ode.Var]float64) (Equilibrium, error) {
+	jac, _, err := LinearizeOnSimplex(s, elim, point)
+	if err != nil {
+		return Equilibrium{}, err
+	}
+	eigs := jac.Eigenvalues()
+	cp := make(map[ode.Var]float64, len(point))
+	for k, v := range point {
+		cp[k] = v
+	}
+	return Equilibrium{Point: cp, Eigenvalues: eigs, Class: ClassifyEigenvalues(eigs)}, nil
+}
+
+// DominantDecayRate returns the slowest decay rate (smallest |Re λ|) among
+// the eigenvalues, which sets the convergence time constant near a stable
+// equilibrium; the convergence-complexity exponents of §4.1.3 and §4.2.2
+// are exactly these rates.
+func DominantDecayRate(eigs []complex128) float64 {
+	rate := math.Inf(1)
+	for _, e := range eigs {
+		if r := math.Abs(real(e)); r < rate {
+			rate = r
+		}
+	}
+	return rate
+}
+
+// OscillationFrequency returns the largest |Im λ| among the eigenvalues:
+// non-zero for spirals (damped oscillation), zero for nodes.
+func OscillationFrequency(eigs []complex128) float64 {
+	freq := 0.0
+	for _, e := range eigs {
+		if f := math.Abs(imag(e)); f > freq {
+			freq = f
+		}
+	}
+	return freq
+}
+
+// PerturbationDecay evaluates the three §4.1.3 convergence-complexity cases
+// for a 2×2 linearization with trace tau and determinant delta, returning
+// the displacement u(t)/u0 at time t for an initial unit perturbation
+// (with u̇0 = 0 in the distinct-real case).
+func PerturbationDecay(tau, delta, t float64) float64 {
+	disc := tau*tau - 4*delta
+	switch {
+	case disc < 0:
+		// Case 1: complex pair — damped oscillation
+		// u = u0·e^(τt/2)·cos(t·sqrt(Δ − τ²/4)).
+		return math.Exp(tau*t/2) * math.Cos(t*math.Sqrt(-disc)/2)
+	case disc > 0:
+		// Case 2: distinct real eigenvalues.
+		r := math.Sqrt(disc)
+		l1, l2 := (tau+r)/2, (tau-r)/2
+		// u̇0 = 0 ⇒ u = (−λ2·e^{λ1 t} + λ1·e^{λ2 t})/(λ1 − λ2).
+		return (-l2*math.Exp(l1*t) + l1*math.Exp(l2*t)) / (l1 - l2)
+	default:
+		// Case 3: equal real eigenvalues — u = u0·e^{τt/2}.
+		return math.Exp(tau * t / 2)
+	}
+}
+
+// SpectralAbscissa returns max Re λ, negative iff the equilibrium is
+// asymptotically stable.
+func SpectralAbscissa(eigs []complex128) float64 {
+	a := math.Inf(-1)
+	for _, e := range eigs {
+		if r := real(e); r > a {
+			a = r
+		}
+	}
+	return a
+}
+
+// EigenvalueMagnitudes returns |λ| for each eigenvalue (used in reports).
+func EigenvalueMagnitudes(eigs []complex128) []float64 {
+	out := make([]float64, len(eigs))
+	for i, e := range eigs {
+		out[i] = cmplx.Abs(e)
+	}
+	return out
+}

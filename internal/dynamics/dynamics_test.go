@@ -1,0 +1,371 @@
+package dynamics
+
+import (
+	"math"
+	"testing"
+
+	"odeproto/internal/ode"
+)
+
+func endemicSys(t *testing.T, beta, gamma, alpha float64) *ode.System {
+	t.Helper()
+	s, err := ode.Parse(`
+x' = -beta*x*y + alpha*z
+y' = beta*x*y - gamma*y
+z' = gamma*y - alpha*z
+`, map[string]float64{"beta": beta, "gamma": gamma, "alpha": alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func lvSys(t *testing.T) *ode.System {
+	t.Helper()
+	s, err := ode.Parse(`
+x' = 3*x*z - 3*x*y
+y' = 3*y*z - 3*x*y
+z' = -3*x*z - 3*y*z + 3*x*y + 3*x*y
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// endemicEquilibrium returns the paper's second (non-trivial) equilibrium
+// (2) in fraction form: x∞ = γ/β, y∞ = (1−γ/β)/(1+γ/α),
+// z∞ = (1−γ/β)/(1+α/γ).
+func endemicEquilibrium(beta, gamma, alpha float64) map[ode.Var]float64 {
+	x := gamma / beta
+	y := (1 - gamma/beta) / (1 + gamma/alpha)
+	z := (1 - gamma/beta) / (1 + alpha/gamma)
+	return map[ode.Var]float64{"x": x, "y": y, "z": z}
+}
+
+func TestClassifyTraceDet(t *testing.T) {
+	cases := []struct {
+		tau, delta float64
+		want       EquilibriumClass
+	}{
+		{-2, 1, StableNode},    // disc = 0... adjust: τ²−4Δ = 0 boundary
+		{-3, 1, StableNode},    // disc 5 > 0
+		{-1, 1, StableSpiral},  // disc -3 < 0
+		{3, 1, UnstableNode},   // disc 5
+		{1, 1, UnstableSpiral}, // disc -3
+		{1, -1, Saddle},        //
+		{0, 1, Center},         //
+		{0, 0, Degenerate},     //
+		{5, 0, Degenerate},     //
+	}
+	for _, tc := range cases {
+		if got := ClassifyTraceDet(tc.tau, tc.delta); got != tc.want {
+			t.Errorf("ClassifyTraceDet(%v, %v) = %v, want %v", tc.tau, tc.delta, got, tc.want)
+		}
+	}
+}
+
+func TestClassifyEigenvalues(t *testing.T) {
+	cases := []struct {
+		eigs []complex128
+		want EquilibriumClass
+	}{
+		{[]complex128{-1, -2}, StableNode},
+		{[]complex128{complex(-1, 2), complex(-1, -2)}, StableSpiral},
+		{[]complex128{1, 2}, UnstableNode},
+		{[]complex128{complex(1, 2), complex(1, -2)}, UnstableSpiral},
+		{[]complex128{1, -3}, Saddle},
+		{[]complex128{complex(0, 1), complex(0, -1)}, Center},
+		{[]complex128{0, -1}, Degenerate},
+	}
+	for _, tc := range cases {
+		if got := ClassifyEigenvalues(tc.eigs); got != tc.want {
+			t.Errorf("ClassifyEigenvalues(%v) = %v, want %v", tc.eigs, got, tc.want)
+		}
+	}
+}
+
+func TestStablePredicate(t *testing.T) {
+	if !StableSpiral.Stable() || !StableNode.Stable() {
+		t.Fatal("stable classes must report Stable")
+	}
+	if Saddle.Stable() || UnstableNode.Stable() || Center.Stable() {
+		t.Fatal("non-stable classes must not report Stable")
+	}
+}
+
+// TestEndemicEquilibriumClosedForm verifies the closed-form equilibrium (2)
+// actually zeroes the endemic vector field.
+func TestEndemicEquilibriumClosedForm(t *testing.T) {
+	beta, gamma, alpha := 4.0, 1.0, 0.01
+	s := endemicSys(t, beta, gamma, alpha)
+	eq := endemicEquilibrium(beta, gamma, alpha)
+	d := s.Eval(eq)
+	for i, v := range d {
+		if math.Abs(v) > 1e-12 {
+			t.Fatalf("f[%d] = %v at closed-form equilibrium, want 0", i, v)
+		}
+	}
+	var sum float64
+	for _, v := range eq {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("equilibrium fractions sum to %v", sum)
+	}
+}
+
+// TestTheorem3EndemicStableSpiral reproduces the paper's Theorem 3 and the
+// Figure 2 caption: with β = 4, γ = 1.0, α = 0.01 the non-trivial
+// equilibrium is a stable spiral, with trace −(σ+α) and determinant
+// σ(γ+α), σ = β·y∞.
+func TestTheorem3EndemicStableSpiral(t *testing.T) {
+	beta, gamma, alpha := 4.0, 1.0, 0.01
+	s := endemicSys(t, beta, gamma, alpha)
+	eqPoint := endemicEquilibrium(beta, gamma, alpha)
+
+	jac, kept, err := LinearizeOnSimplex(s, "z", eqPoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 2 || kept[0] != "x" || kept[1] != "y" {
+		t.Fatalf("kept vars = %v", kept)
+	}
+	sigma := beta * eqPoint["y"]
+	wantTau := -(sigma + alpha)
+	wantDelta := sigma * (gamma + alpha)
+	if math.Abs(jac.Trace()-wantTau) > 1e-9 {
+		t.Fatalf("τ = %v, want paper's −(σ+α) = %v", jac.Trace(), wantTau)
+	}
+	if math.Abs(jac.Det()-wantDelta) > 1e-9 {
+		t.Fatalf("Δ = %v, want paper's σ(γ+α) = %v", jac.Det(), wantDelta)
+	}
+	cls, err := ClassifyOnSimplex(s, "z", eqPoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.Class != StableSpiral {
+		t.Fatalf("classification = %v, want stable spiral (Figure 2)", cls.Class)
+	}
+}
+
+// TestTheorem3StabilityAcrossParameters: Theorem 3 claims stability for all
+// α, γ > 0 with β > γ (fraction form of N > γ/β).
+func TestTheorem3StabilityAcrossParameters(t *testing.T) {
+	params := []struct{ beta, gamma, alpha float64 }{
+		{4, 1, 0.01},
+		{2, 0.1, 0.001},
+		{64, 0.1, 0.005},
+		{2, 0.001, 0.000001},
+		{6, 0.5, 0.5},
+	}
+	for _, p := range params {
+		s := endemicSys(t, p.beta, p.gamma, p.alpha)
+		eq := endemicEquilibrium(p.beta, p.gamma, p.alpha)
+		cls, err := ClassifyOnSimplex(s, "z", eq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cls.Class.Stable() {
+			t.Fatalf("params %+v: class %v, want stable (Theorem 3)", p, cls.Class)
+		}
+	}
+}
+
+// TestEndemicFirstEquilibriumSaddle reproduces the Theorem 3 corollary: the
+// trivial equilibrium (1, 0, 0) is a saddle point when β > γ.
+func TestEndemicFirstEquilibriumSaddle(t *testing.T) {
+	s := endemicSys(t, 4, 1, 0.01)
+	cls, err := ClassifyOnSimplex(s, "z", map[ode.Var]float64{"x": 1, "y": 0, "z": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.Class != Saddle {
+		t.Fatalf("trivial equilibrium class = %v, want saddle", cls.Class)
+	}
+}
+
+// TestEndemicSubcriticalStable: the corollary's other direction — when
+// β < γ (N < γ/β in the paper's count notation) the all-receptive
+// equilibrium is stable.
+func TestEndemicSubcriticalStable(t *testing.T) {
+	s := endemicSys(t, 0.5, 1, 0.01) // β < γ
+	cls, err := ClassifyOnSimplex(s, "z", map[ode.Var]float64{"x": 1, "y": 0, "z": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cls.Class.Stable() {
+		t.Fatalf("subcritical trivial equilibrium class = %v, want stable", cls.Class)
+	}
+}
+
+// TestTheorem4LVEquilibria reproduces the LV analysis: (0,1) and (1,0)
+// stable, (0,0) unstable, (1/3,1/3) saddle.
+func TestTheorem4LVEquilibria(t *testing.T) {
+	s := lvSys(t)
+	cases := []struct {
+		x, y float64
+		want EquilibriumClass
+	}{
+		{1, 0, StableNode},
+		{0, 1, StableNode},
+		{0, 0, UnstableNode},
+		{1.0 / 3, 1.0 / 3, Saddle},
+	}
+	for _, tc := range cases {
+		point := map[ode.Var]float64{"x": tc.x, "y": tc.y, "z": 1 - tc.x - tc.y}
+		cls, err := ClassifyOnSimplex(s, "z", point)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cls.Class != tc.want {
+			t.Fatalf("LV equilibrium (%v,%v): class %v, want %v", tc.x, tc.y, cls.Class, tc.want)
+		}
+	}
+}
+
+// TestLVConvergenceRate: near (1,0) both eigenvalues are −3, matching the
+// §4.2.2 convergence complexity x(t) = u0·e^{−3t}.
+func TestLVConvergenceRate(t *testing.T) {
+	s := lvSys(t)
+	cls, err := ClassifyOnSimplex(s, "z", map[ode.Var]float64{"x": 1, "y": 0, "z": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range cls.Eigenvalues {
+		if math.Abs(real(e)+3) > 1e-6 || math.Abs(imag(e)) > 1e-6 {
+			t.Fatalf("eigenvalues = %v, want both −3", cls.Eigenvalues)
+		}
+	}
+	if r := DominantDecayRate(cls.Eigenvalues); math.Abs(r-3) > 1e-6 {
+		t.Fatalf("decay rate = %v, want 3", r)
+	}
+}
+
+func TestNewtonFindsEndemicEquilibrium(t *testing.T) {
+	beta, gamma, alpha := 4.0, 1.0, 0.01
+	s := endemicSys(t, beta, gamma, alpha)
+	want := endemicEquilibrium(beta, gamma, alpha)
+	seed := map[ode.Var]float64{"x": 0.3, "y": 0.01, "z": 0.69}
+	got, err := NewtonEquilibrium(s, seed, 1e-12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []ode.Var{"x", "y", "z"} {
+		if math.Abs(got[v]-want[v]) > 1e-8 {
+			t.Fatalf("Newton %s = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestFindEquilibriaLV(t *testing.T) {
+	s := lvSys(t)
+	seeds := []map[ode.Var]float64{
+		{"x": 0.9, "y": 0.05, "z": 0.05},
+		{"x": 0.05, "y": 0.9, "z": 0.05},
+		{"x": 0.3, "y": 0.35, "z": 0.35},
+		{"x": 0.01, "y": 0.01, "z": 0.98},
+	}
+	eqs := FindEquilibria(s, "z", seeds)
+	if len(eqs) < 3 {
+		t.Fatalf("found %d equilibria, want at least 3: %v", len(eqs), eqs)
+	}
+	stable := 0
+	for _, e := range eqs {
+		if e.Class.Stable() {
+			stable++
+		}
+	}
+	if stable < 1 {
+		t.Fatalf("no stable equilibrium among %v", eqs)
+	}
+}
+
+func TestNewtonNoConvergenceReported(t *testing.T) {
+	// A system whose only simplex equilibrium keeps Newton honest:
+	// from a wild seed the iteration either converges or reports failure,
+	// never returns a non-equilibrium.
+	s := endemicSys(t, 4, 1, 0.01)
+	got, err := NewtonEquilibrium(s, map[ode.Var]float64{"x": 5, "y": -3, "z": -1}, 1e-12, 5)
+	if err == nil {
+		d := s.Eval(got)
+		for _, v := range d {
+			if math.Abs(v) > 1e-9 {
+				t.Fatalf("Newton claimed convergence at non-equilibrium %v (f = %v)", got, d)
+			}
+		}
+	}
+}
+
+func TestPerturbationDecayCases(t *testing.T) {
+	// Case 1 (spiral): τ = −0.1, Δ = 1 → damped cosine; u(0) = 1.
+	if got := PerturbationDecay(-0.1, 1, 0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("case1 u(0) = %v", got)
+	}
+	// Amplitude bound |u(t)| ≤ e^{τt/2}.
+	for _, tm := range []float64{1, 5, 20} {
+		u := PerturbationDecay(-0.1, 1, tm)
+		bound := math.Exp(-0.05 * tm)
+		if math.Abs(u) > bound+1e-12 {
+			t.Fatalf("case1 |u(%v)| = %v exceeds envelope %v", tm, u, bound)
+		}
+	}
+	// Case 2 (distinct real): τ = −3, Δ = 2 → λ = −1, −2; u decays
+	// monotonically from 1.
+	if got := PerturbationDecay(-3, 2, 0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("case2 u(0) = %v", got)
+	}
+	prev := 1.0
+	for _, tm := range []float64{0.5, 1, 2, 4} {
+		u := PerturbationDecay(-3, 2, tm)
+		if u < 0 || u > prev {
+			t.Fatalf("case2 not monotone: u(%v) = %v (prev %v)", tm, u, prev)
+		}
+		prev = u
+	}
+	// Case 3 (equal): τ = −2, Δ = 1 → u = e^{−t}.
+	if got := PerturbationDecay(-2, 1, 3); math.Abs(got-math.Exp(-3)) > 1e-12 {
+		t.Fatalf("case3 u(3) = %v, want e^-3", got)
+	}
+}
+
+func TestDecayRateAndFrequency(t *testing.T) {
+	eigs := []complex128{complex(-0.5, 2), complex(-0.5, -2), complex(-3, 0)}
+	if r := DominantDecayRate(eigs); r != 0.5 {
+		t.Fatalf("decay rate = %v, want 0.5", r)
+	}
+	if f := OscillationFrequency(eigs); f != 2 {
+		t.Fatalf("frequency = %v, want 2", f)
+	}
+	if a := SpectralAbscissa(eigs); a != -0.5 {
+		t.Fatalf("abscissa = %v, want -0.5", a)
+	}
+}
+
+func TestEigenvalueMagnitudes(t *testing.T) {
+	m := EigenvalueMagnitudes([]complex128{complex(3, 4)})
+	if math.Abs(m[0]-5) > 1e-12 {
+		t.Fatalf("magnitude = %v, want 5", m[0])
+	}
+}
+
+func TestLinearizeOnSimplexUnknownVar(t *testing.T) {
+	s := lvSys(t)
+	if _, _, err := LinearizeOnSimplex(s, "q", map[ode.Var]float64{}); err == nil {
+		t.Fatal("expected error for unknown variable")
+	}
+}
+
+func TestLinearizeFullMatchesJacobian(t *testing.T) {
+	s := lvSys(t)
+	point := map[ode.Var]float64{"x": 0.2, "y": 0.3, "z": 0.5}
+	m := Linearize(s, point)
+	raw := s.JacobianAt(point)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != raw[i][j] {
+				t.Fatalf("Linearize disagrees with JacobianAt at (%d,%d)", i, j)
+			}
+		}
+	}
+}

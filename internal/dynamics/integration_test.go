@@ -1,0 +1,126 @@
+package dynamics_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"odeproto/internal/dynamics"
+	"odeproto/internal/ode"
+	"odeproto/internal/solver"
+)
+
+func mustParse(t *testing.T, src string) *ode.System {
+	t.Helper()
+	s, err := ode.Parse(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestTrajectoriesConvergeToClassifiedEquilibrium integrates the endemic
+// equations from random simplex starts and verifies that every trajectory
+// lands at the equilibrium FindEquilibria classified as stable — linking
+// the solver, the Newton search, and the classification machinery.
+func TestTrajectoriesConvergeToClassifiedEquilibrium(t *testing.T) {
+	s := mustParse(t, `
+x' = -4*x*y + 0.05*z
+y' = 4*x*y - 0.5*y
+z' = 0.5*y - 0.05*z
+`)
+	eqs := dynamics.FindEquilibria(s, "z", []map[ode.Var]float64{
+		{"x": 0.2, "y": 0.1, "z": 0.7},
+		{"x": 1, "y": 0, "z": 0},
+	})
+	var stable map[ode.Var]float64
+	for _, e := range eqs {
+		if e.Class.Stable() {
+			stable = e.Point
+		}
+	}
+	if stable == nil {
+		t.Fatalf("no stable equilibrium found among %v", eqs)
+	}
+	rng := rand.New(rand.NewSource(9))
+	f := solver.FromSystem(s)
+	for trial := 0; trial < 10; trial++ {
+		x := 0.1 + 0.8*rng.Float64()
+		y := (1 - x) * (0.05 + 0.9*rng.Float64())
+		if y <= 0.01 {
+			y = 0.01
+		}
+		start := []float64{x, y, 1 - x - y}
+		tr, err := solver.RK4(f, start, 0, 400, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := tr.Final()
+		point := s.PointFromVec(final)
+		for _, v := range s.Vars() {
+			if math.Abs(point[v]-stable[v]) > 0.02 {
+				t.Fatalf("trajectory from %v ended at %v, stable equilibrium %v", start, point, stable)
+			}
+		}
+	}
+}
+
+// TestSaddleSeparatrix: LV trajectories starting ε off the diagonal
+// converge to the corner on their side — the Theorem 4 separatrix is
+// exactly x = y.
+func TestSaddleSeparatrix(t *testing.T) {
+	s := mustParse(t, `
+x' = 3*x*z - 3*x*y
+y' = 3*y*z - 3*x*y
+z' = -3*x*z - 3*y*z + 3*x*y + 3*x*y
+`)
+	f := solver.FromSystem(s)
+	for _, eps := range []float64{1e-3, 1e-2, 0.1} {
+		right, err := solver.RK4(f, []float64{0.3 + eps, 0.3, 0.4 - eps}, 0, 50, 0.005)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := right.Final()[0]; got < 0.99 {
+			t.Fatalf("ε=%v right of diagonal: x(∞) = %v, want ≈ 1", eps, got)
+		}
+		left, err := solver.RK4(f, []float64{0.3, 0.3 + eps, 0.4 - eps}, 0, 50, 0.005)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := left.Final()[1]; got < 0.99 {
+			t.Fatalf("ε=%v left of diagonal: y(∞) = %v, want ≈ 1", eps, got)
+		}
+	}
+}
+
+// TestPerturbationDecayMatchesLinearizedODE: the closed-form u(t) of
+// §4.1.3 agrees with direct RK4 integration of the 2×2 linear system
+// ü = τ·u̇ − Δ·u (the characteristic dynamics of matrix A).
+func TestPerturbationDecayMatchesLinearizedODE(t *testing.T) {
+	// The paper's closed forms correspond to specific initial slopes:
+	// the pure-cosine spiral (case 1) and the pure exponential (case 3)
+	// satisfy u̇(0) = τ/2, while the distinct-real form (case 2) is
+	// written for u̇(0) = 0.
+	cases := []struct{ tau, delta, udot0 float64 }{
+		{-0.5, 1, -0.25}, // spiral: u̇(0) = τ/2
+		{-3, 2, 0},       // distinct real: u̇(0) = 0
+		{-2, 1, -1},      // repeated root: u̇(0) = τ/2
+	}
+	for _, tc := range cases {
+		// State (u, u̇): u' = u̇; u̇' = τ·u̇ − Δ·u, u(0)=1.
+		f := func(x []float64) []float64 {
+			return []float64{x[1], tc.tau*x[1] - tc.delta*x[0]}
+		}
+		tr, err := solver.RK4(f, []float64{1, tc.udot0}, 0, 5, 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tm := range []float64{0.5, 1, 2, 5} {
+			got := tr.At(tm)[0]
+			want := dynamics.PerturbationDecay(tc.tau, tc.delta, tm)
+			if math.Abs(got-want) > 1e-4+1e-3*math.Abs(want) {
+				t.Fatalf("τ=%v Δ=%v t=%v: ODE %v vs closed form %v", tc.tau, tc.delta, tm, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package endemic implements Case Study I of the paper (§4.1): the endemic
+// protocol for probabilistic responsibility migration, derived from the
+// endemic equations (1)
+//
+//	ẋ = −βxy + αz
+//	ẏ = βxy − γy
+//	ż = γy − αz
+//
+// over fractions of receptive (x), stash (y) and averse (z) processes. A
+// process is responsible — stores the object replica — exactly while it is
+// in the stash state.
+//
+// Two executable protocols are provided:
+//
+//   - NewFrameworkProtocol: the canonical output of the §3 translation
+//     (one-time-sampling for βxy, flipping for γy and αz), running on the
+//     protocol time scale p = 1/β.
+//   - NewFigure1Protocol: the variant the paper actually evaluates
+//     (errata: "the protocol in Figure 1 is a variant of that obtained
+//     through the methodology"): receptive processes pull from b random
+//     targets (action iii), stash processes push to b random targets
+//     (action iv), giving contact rate β = N(1−(1−b/N)²) ≈ 2b, with
+//     flipping for recovery (γ) and re-susceptibility (α).
+//
+// The package also carries the §4.1.3 analysis: the closed-form equilibria
+// (2), the perturbation matrix A with τ = −(σ+α) and Δ = σ(γ+α), the three
+// convergence-complexity cases, and the probabilistic-safety longevity
+// results.
+package endemic
+
+import (
+	"fmt"
+	"math"
+
+	"odeproto/internal/core"
+	"odeproto/internal/dynamics"
+	"odeproto/internal/ode"
+)
+
+// Protocol states. The paper names them susceptible/receptive (x),
+// infected/stash (y), and immune/averse (z).
+const (
+	Receptive = ode.Var("x")
+	Stash     = ode.Var("y")
+	Averse    = ode.Var("z")
+)
+
+// Params are the endemic protocol parameters of §4.1.2.
+type Params struct {
+	// B is the per-period contact fan-out b. With the Figure-1 variant
+	// (pull + push) the effective infection rate is β ≈ 2b.
+	B int
+	// Gamma is the recovery rate γ ∈ (0, 1]: the per-period probability
+	// that a stasher deletes its replica and turns averse.
+	Gamma float64
+	// Alpha is the susceptibility rate α ∈ (0, 1]: the per-period
+	// probability that an averse process turns receptive again.
+	Alpha float64
+}
+
+// Validate checks the §4.1.2 parameter constraints (α, γ ∈ (0,1], b ≥ 1,
+// β > γ so the non-trivial equilibrium exists).
+func (p Params) Validate() error {
+	if p.B < 1 {
+		return fmt.Errorf("endemic: b = %d must be at least 1", p.B)
+	}
+	if p.Gamma <= 0 || p.Gamma > 1 {
+		return fmt.Errorf("endemic: γ = %v outside (0,1]", p.Gamma)
+	}
+	if p.Alpha <= 0 || p.Alpha > 1 {
+		return fmt.Errorf("endemic: α = %v outside (0,1]", p.Alpha)
+	}
+	if p.Beta() <= p.Gamma {
+		return fmt.Errorf("endemic: β = %v must exceed γ = %v for the non-trivial equilibrium", p.Beta(), p.Gamma)
+	}
+	return nil
+}
+
+// Beta returns the effective contact rate β ≈ 2b of the Figure-1 variant.
+func (p Params) Beta() float64 { return 2 * float64(p.B) }
+
+// System returns the endemic equations (1) over fractions for the given
+// rates.
+func System(beta, gamma, alpha float64) *ode.System {
+	s := ode.NewSystem()
+	s.MustAddEquation(Receptive,
+		ode.NewTerm(-beta, map[ode.Var]int{Receptive: 1, Stash: 1}),
+		ode.NewTerm(alpha, map[ode.Var]int{Averse: 1}))
+	s.MustAddEquation(Stash,
+		ode.NewTerm(beta, map[ode.Var]int{Receptive: 1, Stash: 1}),
+		ode.NewTerm(-gamma, map[ode.Var]int{Stash: 1}))
+	s.MustAddEquation(Averse,
+		ode.NewTerm(gamma, map[ode.Var]int{Stash: 1}),
+		ode.NewTerm(-alpha, map[ode.Var]int{Averse: 1}))
+	return s
+}
+
+// NewFrameworkProtocol translates the endemic equations through the §3
+// framework verbatim. The resulting protocol runs the dynamics at time
+// scale p = 1/β per period.
+func NewFrameworkProtocol(p Params) (*core.Protocol, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return core.Translate(System(p.Beta(), p.Gamma, p.Alpha), core.Options{})
+}
+
+// NewFigure1Protocol builds the variant protocol of Figure 1 / §4.1.2:
+//
+//	(i)   stash: flip coin(γ); heads → averse (replica deleted);
+//	(ii)  averse: flip coin(α); heads → receptive;
+//	(iii) receptive: contact b random targets; if any is a stasher →
+//	      stash (replica transferred);
+//	(iv)  stash: contact b random targets; every receptive target →
+//	      stash (replica pushed).
+//
+// Actions (iii)+(iv) together give contact rate β ≈ 2b, so the protocol
+// executes the equations System(2b, γ, α) at time scale 1 (no normalizing
+// constant is needed: all coins are already probabilities).
+func NewFigure1Protocol(p Params) (*core.Protocol, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	bTargets := func(s ode.Var) []ode.Var {
+		out := make([]ode.Var, p.B)
+		for i := range out {
+			out[i] = s
+		}
+		return out
+	}
+	proto := &core.Protocol{
+		States: []ode.Var{Receptive, Stash, Averse},
+		P:      1,
+		Source: System(p.Beta(), p.Gamma, p.Alpha),
+		Actions: []core.Action{
+			{ // (iii) pull
+				Kind: core.SampleAny, Owner: Receptive, From: Receptive, To: Stash,
+				Coin: 1, Samples: bTargets(Stash), TermCoef: p.Beta(),
+			},
+			{ // (iv) push
+				Kind: core.Push, Owner: Stash, From: Receptive, To: Stash,
+				Coin: 1, Samples: bTargets(Receptive), TermCoef: p.Beta(),
+			},
+			{ // (i) recover
+				Kind: core.Flip, Owner: Stash, From: Stash, To: Averse,
+				Coin: p.Gamma, TermCoef: p.Gamma,
+			},
+			{ // (ii) become receptive again
+				Kind: core.Flip, Owner: Averse, From: Averse, To: Receptive,
+				Coin: p.Alpha, TermCoef: p.Alpha,
+			},
+		},
+	}
+	if err := proto.Validate(); err != nil {
+		return nil, err
+	}
+	return proto, nil
+}
+
+// Equilibrium is a fixed point of the endemic equations over fractions.
+type Equilibrium struct {
+	Receptive, Stash, Averse float64
+}
+
+// TrivialEquilibrium returns the first equilibrium of (2): everyone
+// receptive, all replicas gone.
+func TrivialEquilibrium() Equilibrium {
+	return Equilibrium{Receptive: 1}
+}
+
+// StableEquilibrium returns the second (non-trivial) equilibrium of (2)
+// in fraction form:
+//
+//	x∞ = γ/β,  y∞ = (1 − γ/β)/(1 + γ/α),  z∞ = (1 − γ/β)/(1 + α/γ).
+func StableEquilibrium(beta, gamma, alpha float64) Equilibrium {
+	return Equilibrium{
+		Receptive: gamma / beta,
+		Stash:     (1 - gamma/beta) / (1 + gamma/alpha),
+		Averse:    (1 - gamma/beta) / (1 + alpha/gamma),
+	}
+}
+
+// Point converts the equilibrium to an ode point.
+func (e Equilibrium) Point() map[ode.Var]float64 {
+	return map[ode.Var]float64{Receptive: e.Receptive, Stash: e.Stash, Averse: e.Averse}
+}
+
+// Analysis carries the §4.1.3 perturbation analysis around the non-trivial
+// equilibrium.
+type Analysis struct {
+	Beta, Gamma, Alpha float64
+	Equilibrium        Equilibrium
+	// Sigma is σ = β·y∞ (the paper's (βN−γ)/(1+γ/α) in fraction form).
+	Sigma float64
+	// Tau and Delta are the trace −(σ+α) and determinant σ(γ+α) of the
+	// perturbation matrix A of equation (4).
+	Tau, Delta float64
+	// Eigenvalues are λ = (τ ± sqrt(τ²−4Δ))/2.
+	Eigenvalues []complex128
+	// Class is the trace–determinant classification (stable spiral for the
+	// Figure 2 parameters).
+	Class dynamics.EquilibriumClass
+}
+
+// Analyze computes the perturbation analysis for the given rates.
+func Analyze(beta, gamma, alpha float64) Analysis {
+	eq := StableEquilibrium(beta, gamma, alpha)
+	sigma := beta * eq.Stash
+	tau := -(sigma + alpha)
+	delta := sigma * (gamma + alpha)
+	disc := tau*tau - 4*delta
+	var eigs []complex128
+	if disc >= 0 {
+		r := math.Sqrt(disc)
+		eigs = []complex128{complex((tau+r)/2, 0), complex((tau-r)/2, 0)}
+	} else {
+		im := math.Sqrt(-disc) / 2
+		eigs = []complex128{complex(tau/2, im), complex(tau/2, -im)}
+	}
+	return Analysis{
+		Beta: beta, Gamma: gamma, Alpha: alpha,
+		Equilibrium: eq,
+		Sigma:       sigma,
+		Tau:         tau,
+		Delta:       delta,
+		Eigenvalues: eigs,
+		Class:       dynamics.ClassifyTraceDet(tau, delta),
+	}
+}
+
+// PerturbationAt returns u(t)/u₀, the relative displacement of the
+// receptive population t time units after a small perturbation, using the
+// three closed-form cases of §4.1.3.
+func (a Analysis) PerturbationAt(t float64) float64 {
+	return dynamics.PerturbationDecay(a.Tau, a.Delta, t)
+}
+
+// ExtinctionProbability returns the §4.1.3 back-of-the-envelope likelihood
+// that all replicas disappear from an equilibrium with the given number of
+// stashers: each stasher recruits at rate βx∞ = γ and dies at rate γ, so
+// the chance that none recruits before dying is (1/2)^stashers.
+func ExtinctionProbability(stashers float64) float64 {
+	return math.Exp2(-stashers)
+}
+
+// ExpectedLongevityYears returns the expected object lifetime, in years,
+// at an equilibrium holding `stashers` replicas with the given protocol
+// period: 2^stashers periods. With 6-minute periods, 50 replicas give
+// 1.28×10¹⁰ years and 100 replicas give 1.45×10²⁵ years, the paper's two
+// headline numbers.
+func ExpectedLongevityYears(stashers, periodMinutes float64) float64 {
+	const minutesPerYear = 365 * 24 * 60
+	return math.Exp2(stashers) * periodMinutes / minutesPerYear
+}
+
+// StashersForSafety inverts the §4.1.3 design rule y∞ = c·log₂N: it
+// returns the stasher population needed so the extinction probability is
+// N^−c.
+func StashersForSafety(n int, c float64) float64 {
+	return c * math.Log2(float64(n))
+}
+
+// RealityCheck reproduces the §5.1 "Reality Check" estimates for a group
+// of n hosts at the stable equilibrium.
+type RealityCheck struct {
+	// StashFractionOfTime is the long-run fraction of time each host
+	// stores the file (y∞ by Fairness).
+	StashFractionOfTime float64
+	// StintPeriods is the expected number of consecutive periods a host
+	// remains a stasher once recruited (1/γ).
+	StintPeriods float64
+	// TransfersPerPeriod is the equilibrium file-transfer rate γ·y∞·n.
+	TransfersPerPeriod float64
+	// BandwidthBps is the average per-host bandwidth for this one file:
+	// each transfer moves fileBytes at two endpoints.
+	BandwidthBps float64
+}
+
+// ComputeRealityCheck evaluates the estimates for the given configuration.
+// The paper's instance (n = 100000, b = 2, γ = 10⁻³, α = 10⁻⁶, 88.2 KB
+// files, 6-minute periods) yields ≈ 3.9×10⁻³ bps per file per host.
+func ComputeRealityCheck(n int, p Params, fileBytes, periodMinutes float64) RealityCheck {
+	eq := StableEquilibrium(p.Beta(), p.Gamma, p.Alpha)
+	transfers := p.Gamma * eq.Stash * float64(n)
+	periodSeconds := periodMinutes * 60
+	bits := fileBytes * 8
+	return RealityCheck{
+		StashFractionOfTime: eq.Stash,
+		StintPeriods:        1 / p.Gamma,
+		TransfersPerPeriod:  transfers,
+		BandwidthBps:        transfers * bits * 2 / (float64(n) * periodSeconds),
+	}
+}

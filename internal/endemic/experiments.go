@@ -1,0 +1,415 @@
+package endemic
+
+import (
+	"fmt"
+
+	"odeproto/internal/churn"
+	"odeproto/internal/ode"
+	"odeproto/internal/sim"
+	"odeproto/internal/stats"
+)
+
+// InitialCounts is a starting population (X, Y, Z) in absolute counts, as
+// in the Figure 2 caption.
+type InitialCounts struct {
+	X, Y, Z int
+}
+
+// total returns the population size.
+func (ic InitialCounts) total() int { return ic.X + ic.Y + ic.Z }
+
+func (ic InitialCounts) toMap() map[ode.Var]int {
+	return map[ode.Var]int{Receptive: ic.X, Stash: ic.Y, Averse: ic.Z}
+}
+
+// Figure2InitialPoints returns the seven initial points of the Figure 2
+// caption for N = 1000.
+func Figure2InitialPoints() []InitialCounts {
+	return []InitialCounts{
+		{999, 1, 0},     // blank square
+		{0, 1, 999},     // dark square
+		{0, 1000, 0},    // blank circle
+		{500, 500, 0},   // dark circle
+		{500, 1, 499},   // blank triangle
+		{1, 500, 499},   // dark triangle
+		{333, 333, 334}, // blank inverted triangle
+	}
+}
+
+// Trajectory is a simulated (X(t), Y(t)) path for one initial point.
+type Trajectory struct {
+	Initial InitialCounts
+	Xs, Ys  []float64
+}
+
+// PhasePortrait simulates the Figure-1 protocol from each initial point and
+// records the (X, Y) = (#receptive, #stash) trajectory — the paper's
+// Figure 2 phase portrait (a stable spiral for β = 4, γ = 1.0, α = 0.01).
+func PhasePortrait(p Params, initials []InitialCounts, periods int, sampleEvery int, seed int64) ([]Trajectory, error) {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	proto, err := NewFigure1Protocol(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Trajectory, 0, len(initials))
+	for i, ic := range initials {
+		e, err := sim.New(sim.Config{
+			N:        ic.total(),
+			Protocol: proto,
+			Initial:  ic.toMap(),
+			Seed:     seed + int64(i)*7919,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tr := Trajectory{Initial: ic}
+		for t := 0; t < periods; t++ {
+			if t%sampleEvery == 0 {
+				tr.Xs = append(tr.Xs, float64(e.Count(Receptive)))
+				tr.Ys = append(tr.Ys, float64(e.Count(Stash)))
+			}
+			e.Step()
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}
+
+// MassiveFailureConfig configures the Figures 5/6 experiment.
+type MassiveFailureConfig struct {
+	N          int
+	Params     Params
+	FailAt     int     // period of the massive failure
+	FailFrac   float64 // fraction of hosts crashed (paper: 0.5)
+	Periods    int     // total periods simulated
+	RecordFrom int     // first period recorded in the series
+	Seed       int64
+}
+
+// MassiveFailureResult carries the Figure 5 population series and the
+// Figure 6 file-flux series of the same run.
+type MassiveFailureResult struct {
+	Times     []float64
+	Stash     []float64 // alive stashers (Figure 5 "Stash:Alive")
+	Receptive []float64 // alive receptives (Figure 5 "Rcptv:Alive")
+	Averse    []float64
+	Flux      []float64 // receptive→stash transfers per period (Figure 6)
+	Killed    int
+}
+
+// RunMassiveFailure reproduces the experiment behind Figures 5 and 6: a
+// system started at the analytic equilibrium suffers a massive correlated
+// failure and re-stabilizes, with the file-flux rate barely disturbed.
+func RunMassiveFailure(cfg MassiveFailureConfig) (*MassiveFailureResult, error) {
+	if cfg.FailFrac < 0 || cfg.FailFrac >= 1 {
+		return nil, fmt.Errorf("endemic: fail fraction %v outside [0,1)", cfg.FailFrac)
+	}
+	proto, err := NewFigure1Protocol(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	eq := StableEquilibrium(cfg.Params.Beta(), cfg.Params.Gamma, cfg.Params.Alpha)
+	initY := int(eq.Stash * float64(cfg.N))
+	if initY < 1 {
+		initY = 1
+	}
+	initX := int(eq.Receptive * float64(cfg.N))
+	initZ := cfg.N - initX - initY
+	e, err := sim.New(sim.Config{
+		N:        cfg.N,
+		Protocol: proto,
+		Initial:  map[ode.Var]int{Receptive: initX, Stash: initY, Averse: initZ},
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &MassiveFailureResult{}
+	for t := 0; t < cfg.Periods; t++ {
+		if t == cfg.FailAt {
+			res.Killed = e.KillFraction(cfg.FailFrac)
+		}
+		e.Step()
+		if t >= cfg.RecordFrom {
+			res.Times = append(res.Times, float64(t))
+			res.Stash = append(res.Stash, float64(e.Count(Stash)))
+			res.Receptive = append(res.Receptive, float64(e.Count(Receptive)))
+			res.Averse = append(res.Averse, float64(e.Count(Averse)))
+			res.Flux = append(res.Flux, float64(e.TransitionsLastPeriod()[[2]ode.Var{Receptive, Stash}]))
+		}
+	}
+	return res, nil
+}
+
+// SweepPoint is one group size of the Figure 7 analysis-vs-measured sweep.
+type SweepPoint struct {
+	N                 int
+	StashMeasured     stats.Summary // median/min/max over the window
+	ReceptiveMeasured stats.Summary
+	StashAnalysis     float64 // N·y∞
+	ReceptiveAnalysis float64 // N·x∞
+}
+
+// RunEquilibriumSweep reproduces Figure 7: for each group size, run the
+// protocol past equilibrium, then record windowPeriods periods and compare
+// the measured median (and min/max) populations with the analytic
+// equilibrium (2).
+func RunEquilibriumSweep(ns []int, p Params, warmup, windowPeriods int, seed int64) ([]SweepPoint, error) {
+	proto, err := NewFigure1Protocol(p)
+	if err != nil {
+		return nil, err
+	}
+	eq := StableEquilibrium(p.Beta(), p.Gamma, p.Alpha)
+	out := make([]SweepPoint, 0, len(ns))
+	for i, n := range ns {
+		initY := int(eq.Stash * float64(n))
+		if initY < 1 {
+			initY = 1
+		}
+		initX := int(eq.Receptive * float64(n))
+		e, err := sim.New(sim.Config{
+			N:        n,
+			Protocol: proto,
+			Initial:  map[ode.Var]int{Receptive: initX, Stash: initY, Averse: n - initX - initY},
+			Seed:     seed + int64(i)*104729,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.Run(warmup)
+		stash := make([]float64, 0, windowPeriods)
+		rcptv := make([]float64, 0, windowPeriods)
+		for t := 0; t < windowPeriods; t++ {
+			e.Step()
+			stash = append(stash, float64(e.Count(Stash)))
+			rcptv = append(rcptv, float64(e.Count(Receptive)))
+		}
+		out = append(out, SweepPoint{
+			N:                 n,
+			StashMeasured:     stats.Summarize(stash),
+			ReceptiveMeasured: stats.Summarize(rcptv),
+			StashAnalysis:     eq.Stash * float64(n),
+			ReceptiveAnalysis: eq.Receptive * float64(n),
+		})
+	}
+	return out, nil
+}
+
+// UntraceabilityResult carries the Figure 8 scatter and its summary
+// statistics.
+type UntraceabilityResult struct {
+	// Scatter holds one (period, hostID) point per stasher per period.
+	Scatter *stats.Scatter
+	// MeanStashers is the average stash population over the window.
+	MeanStashers float64
+	// TimeHostCorrelation is the Pearson correlation between period and
+	// host ID over the scatter; near zero means no drift an attacker could
+	// exploit.
+	TimeHostCorrelation float64
+	// Fairness is the coefficient of variation of per-host stash
+	// occupancy over the window (small = good load balancing). The window
+	// must be several stash stints (1/γ) long for this to settle.
+	Fairness float64
+}
+
+// RunUntraceability reproduces Figure 8: which hosts are stashers at the
+// end of every protocol period, over a window.
+func RunUntraceability(n int, p Params, warmup, windowPeriods int, seed int64) (*UntraceabilityResult, error) {
+	proto, err := NewFigure1Protocol(p)
+	if err != nil {
+		return nil, err
+	}
+	eq := StableEquilibrium(p.Beta(), p.Gamma, p.Alpha)
+	initY := int(eq.Stash*float64(n)) + 1
+	e, err := sim.New(sim.Config{
+		N:        n,
+		Protocol: proto,
+		Initial:  map[ode.Var]int{Receptive: n - initY, Stash: initY, Averse: 0},
+		Seed:     seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.Run(warmup)
+	res := &UntraceabilityResult{Scatter: stats.NewScatter("stashers")}
+	occupancy := make([]int, n)
+	var stashSum float64
+	for t := 0; t < windowPeriods; t++ {
+		e.Step()
+		period := float64(warmup + t)
+		for _, h := range e.ProcessesIn(Stash) {
+			res.Scatter.Add(period, float64(h))
+			occupancy[h]++
+		}
+		stashSum += float64(e.Count(Stash))
+	}
+	res.MeanStashers = stashSum / float64(windowPeriods)
+	res.TimeHostCorrelation = res.Scatter.CorrelationXY()
+	res.Fairness = stats.OccupancyFairness(occupancy)
+	return res, nil
+}
+
+// HeterogeneousResult reports the steady state of a group in which a
+// fraction of hosts is chronically averse.
+type HeterogeneousResult struct {
+	// FrozenAverse is the number of chronically averse hosts.
+	FrozenAverse int
+	// MeanStash is the time-averaged stash population among active hosts.
+	MeanStash float64
+	// MeanReceptive is the time-averaged receptive population.
+	MeanReceptive float64
+}
+
+// RunHeterogeneous reproduces the §5.1 remark that post-massive-failure
+// behaviour is "characteristic of a heterogeneous setting, where half the
+// hosts are chronically averse to storing the file or even perhaps to
+// running the protocol": a fraction of hosts is pinned in the averse state
+// (they answer contacts but never act), and the active rest runs the
+// protocol. Contacts landing on pinned hosts are fruitless, which reduces
+// the effective contact rate exactly as crashed hosts do.
+func RunHeterogeneous(n int, p Params, frozenFrac float64, warmup, window int, seed int64) (*HeterogeneousResult, error) {
+	if frozenFrac < 0 || frozenFrac >= 1 {
+		return nil, fmt.Errorf("endemic: frozen fraction %v outside [0,1)", frozenFrac)
+	}
+	proto, err := NewFigure1Protocol(p)
+	if err != nil {
+		return nil, err
+	}
+	frozen := int(frozenFrac * float64(n))
+	active := n - frozen
+	eq := StableEquilibrium(p.Beta(), p.Gamma, p.Alpha)
+	initY := int(eq.Stash*float64(active)) + 1
+	initX := int(eq.Receptive*float64(active)) + 1
+	e, err := sim.New(sim.Config{
+		N:        n,
+		Protocol: proto,
+		Initial: map[ode.Var]int{
+			Receptive: initX,
+			Stash:     initY,
+			Averse:    n - initX - initY,
+		},
+		Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The engine lays processes out in state order (receptive, stash,
+	// averse, in System order), so the tail of the index space is averse;
+	// pin the last `frozen` processes.
+	for q := n - frozen; q < n; q++ {
+		e.Freeze(q)
+	}
+	e.Run(warmup)
+	res := &HeterogeneousResult{FrozenAverse: frozen}
+	for t := 0; t < window; t++ {
+		e.Step()
+		res.MeanStash += float64(e.Count(Stash))
+		res.MeanReceptive += float64(e.Count(Receptive))
+	}
+	res.MeanStash /= float64(window)
+	res.MeanReceptive /= float64(window)
+	return res, nil
+}
+
+// ChurnConfig configures the Figures 9/10 experiment.
+type ChurnConfig struct {
+	N              int
+	Params         Params
+	Trace          *churn.Trace
+	PeriodsPerHour float64 // paper: 10 (6-minute periods)
+	RecordFromHour float64
+	RecordToHour   float64
+	Seed           int64
+}
+
+// ChurnResult carries the population series (Figure 9) and per-period
+// transition counts (Figure 10) under churn.
+type ChurnResult struct {
+	Hours     []float64
+	Stash     []float64
+	Receptive []float64
+	Averse    []float64
+	// Transition streams, per period: receptive→stash (file transfers),
+	// stash→averse (deletions), averse→receptive.
+	RcptvToStash  []float64
+	StashToAverse []float64
+	AverseToRcptv []float64
+	// MeanAlive is the average alive population over the recorded window.
+	MeanAlive float64
+}
+
+// RunChurn reproduces Figures 9 and 10: the endemic protocol under
+// trace-driven churn. Departing hosts lose their replicas; rejoining hosts
+// come back receptive (the paper's worst-case model).
+func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
+	if cfg.Trace == nil {
+		return nil, fmt.Errorf("endemic: nil churn trace")
+	}
+	if cfg.Trace.Hosts != cfg.N {
+		return nil, fmt.Errorf("endemic: trace covers %d hosts, want %d", cfg.Trace.Hosts, cfg.N)
+	}
+	proto, err := NewFigure1Protocol(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	// Start everyone receptive except a stash seed sized by the analytic
+	// equilibrium; the warm-up to RecordFromHour absorbs the transient.
+	eq := StableEquilibrium(cfg.Params.Beta(), cfg.Params.Gamma, cfg.Params.Alpha)
+	initY := int(eq.Stash*float64(cfg.N)) + 1
+	e, err := sim.New(sim.Config{
+		N:        cfg.N,
+		Protocol: proto,
+		Initial:  map[ode.Var]int{Receptive: cfg.N - initY, Stash: initY, Averse: 0},
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Apply the trace's initial availability.
+	for h, up := range cfg.Trace.InitiallyUp {
+		if !up {
+			e.Kill(h)
+		}
+	}
+	rep, err := churn.NewReplayer(cfg.Trace, cfg.PeriodsPerHour)
+	if err != nil {
+		return nil, err
+	}
+	totalPeriods := int(cfg.Trace.Duration * cfg.PeriodsPerHour)
+	res := &ChurnResult{}
+	var aliveSum float64
+	var aliveCount int
+	for t := 0; t < totalPeriods; t++ {
+		for _, ev := range rep.Next(t) {
+			if ev.Up {
+				if e.StateOf(ev.Host) == sim.Down {
+					if err := e.Revive(ev.Host, Receptive); err != nil {
+						return nil, err
+					}
+				}
+			} else {
+				e.Kill(ev.Host)
+			}
+		}
+		e.Step()
+		hour := float64(t+1) / cfg.PeriodsPerHour
+		if hour >= cfg.RecordFromHour && hour <= cfg.RecordToHour {
+			trans := e.TransitionsLastPeriod()
+			res.Hours = append(res.Hours, hour)
+			res.Stash = append(res.Stash, float64(e.Count(Stash)))
+			res.Receptive = append(res.Receptive, float64(e.Count(Receptive)))
+			res.Averse = append(res.Averse, float64(e.Count(Averse)))
+			res.RcptvToStash = append(res.RcptvToStash, float64(trans[[2]ode.Var{Receptive, Stash}]))
+			res.StashToAverse = append(res.StashToAverse, float64(trans[[2]ode.Var{Stash, Averse}]))
+			res.AverseToRcptv = append(res.AverseToRcptv, float64(trans[[2]ode.Var{Averse, Receptive}]))
+			aliveSum += float64(e.Alive())
+			aliveCount++
+		}
+	}
+	if aliveCount > 0 {
+		res.MeanAlive = aliveSum / float64(aliveCount)
+	}
+	return res, nil
+}

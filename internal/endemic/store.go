@@ -1,0 +1,211 @@
+package endemic
+
+import (
+	"fmt"
+	"sort"
+
+	"odeproto/internal/mt19937"
+	"odeproto/internal/ode"
+	"odeproto/internal/sim"
+)
+
+// Store is a persistent distributed file store in the style the paper
+// sketches for its "eternity storage service" application (§4.1): the
+// group of N hosts runs one independent endemic-replication protocol
+// instance per object ("each file has a responsibility migration protocol
+// running on its behalf"), so each object's replica set migrates on its
+// own schedule while host failures affect all objects at a host at once.
+//
+// Store is not safe for concurrent use.
+type Store struct {
+	n      int
+	params Params
+	rng    *mt19937.MT19937
+
+	objects map[string]*objectState
+	down    map[int]bool
+}
+
+type objectState struct {
+	engine    *sim.Engine
+	transfers int // receptive→stash since insertion
+	deletions int // stash→averse since insertion
+}
+
+// NewStore creates a store over n hosts with the given protocol
+// parameters.
+func NewStore(n int, p Params, seed int64) (*Store, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("endemic: store needs at least 2 hosts")
+	}
+	return &Store{
+		n:       n,
+		params:  p,
+		rng:     mt19937.New(seed),
+		objects: make(map[string]*objectState),
+		down:    make(map[int]bool),
+	}, nil
+}
+
+// Insert adds an object with the given initial replica count and starts
+// its migration protocol. Replicas spread out within a few protocol
+// periods regardless of their initial placement.
+func (s *Store) Insert(name string, replicas int) error {
+	if _, dup := s.objects[name]; dup {
+		return fmt.Errorf("endemic: object %q already stored", name)
+	}
+	if replicas < 1 || replicas >= s.n {
+		return fmt.Errorf("endemic: replica count %d outside [1, N)", replicas)
+	}
+	proto, err := NewFigure1Protocol(s.params)
+	if err != nil {
+		return err
+	}
+	obj := &objectState{}
+	engine, err := sim.New(sim.Config{
+		N:        s.n,
+		Protocol: proto,
+		Initial: map[ode.Var]int{
+			Receptive: s.n - replicas,
+			Stash:     replicas,
+			Averse:    0,
+		},
+		Seed: int64(s.rng.Uint64() >> 1),
+		OnTransition: func(proc int, from, to ode.Var, period int) {
+			switch {
+			case to == Stash:
+				obj.transfers++
+			case from == Stash:
+				obj.deletions++
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	// Propagate existing host failures to the new object's protocol.
+	for h := range s.down {
+		engine.Kill(h)
+	}
+	obj.engine = engine
+	s.objects[name] = obj
+	return nil
+}
+
+// Delete removes an object and stops its protocol.
+func (s *Store) Delete(name string) {
+	delete(s.objects, name)
+}
+
+// Objects returns the stored object names, sorted.
+func (s *Store) Objects() []string {
+	out := make([]string, 0, len(s.objects))
+	for name := range s.objects {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tick advances every object's protocol by one period.
+func (s *Store) Tick() {
+	for _, obj := range s.objects {
+		obj.engine.Step()
+	}
+}
+
+// Run advances all protocols by the given number of periods.
+func (s *Store) Run(periods int) {
+	for i := 0; i < periods; i++ {
+		s.Tick()
+	}
+}
+
+// Holders returns the hosts currently storing a replica of the object
+// (its stashers). The second result is false for unknown objects.
+func (s *Store) Holders(name string) ([]int, bool) {
+	obj, ok := s.objects[name]
+	if !ok {
+		return nil, false
+	}
+	return obj.engine.ProcessesIn(Stash), true
+}
+
+// Replicas returns the current replica count of the object (0 for unknown
+// objects — indistinguishable from a lost object, as the paper's Safety
+// discussion requires).
+func (s *Store) Replicas(name string) int {
+	obj, ok := s.objects[name]
+	if !ok {
+		return 0
+	}
+	return obj.engine.Count(Stash)
+}
+
+// Transfers returns the total number of replica transfers for the object
+// since insertion.
+func (s *Store) Transfers(name string) int {
+	obj, ok := s.objects[name]
+	if !ok {
+		return 0
+	}
+	return obj.transfers
+}
+
+// HostLoad returns the number of objects currently stored at the host —
+// the quantity whose flatness across hosts is the §4.1 Fairness property.
+func (s *Store) HostLoad(host int) int {
+	load := 0
+	for _, obj := range s.objects {
+		if obj.engine.StateOf(host) == Stash {
+			load++
+		}
+	}
+	return load
+}
+
+// KillHost crash-stops a host for every object's protocol (all replicas
+// at the host are lost at once).
+func (s *Store) KillHost(host int) {
+	if s.down[host] {
+		return
+	}
+	s.down[host] = true
+	for _, obj := range s.objects {
+		obj.engine.Kill(host)
+	}
+}
+
+// ReviveHost restarts a host; it rejoins receptive towards every object
+// (the paper's worst-case churn model: no startup transfers).
+func (s *Store) ReviveHost(host int) error {
+	if !s.down[host] {
+		return fmt.Errorf("endemic: host %d is not down", host)
+	}
+	delete(s.down, host)
+	for _, obj := range s.objects {
+		if err := obj.engine.Revive(host, Receptive); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AliveHosts returns the number of hosts currently up.
+func (s *Store) AliveHosts() int { return s.n - len(s.down) }
+
+// Lost returns the names of objects whose replica count has reached zero
+// (Safety violations, possible only probabilistically).
+func (s *Store) Lost() []string {
+	var out []string
+	for name, obj := range s.objects {
+		if obj.engine.Count(Stash) == 0 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

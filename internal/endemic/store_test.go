@@ -1,0 +1,209 @@
+package endemic
+
+import (
+	"fmt"
+	"testing"
+
+	"odeproto/internal/stats"
+)
+
+func newTestStore(t *testing.T, n int) *Store {
+	t.Helper()
+	s, err := NewStore(n, Params{B: 2, Gamma: 0.2, Alpha: 0.1}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreValidation(t *testing.T) {
+	if _, err := NewStore(1, Params{B: 2, Gamma: 0.2, Alpha: 0.1}, 1); err == nil {
+		t.Fatal("tiny store accepted")
+	}
+	if _, err := NewStore(100, Params{B: 0, Gamma: 0.2, Alpha: 0.1}, 1); err == nil {
+		t.Fatal("bad params accepted")
+	}
+	s := newTestStore(t, 100)
+	if err := s.Insert("a", 0); err == nil {
+		t.Fatal("zero replicas accepted")
+	}
+	if err := s.Insert("a", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("a", 10); err == nil {
+		t.Fatal("duplicate insert accepted")
+	}
+}
+
+func TestStoreMultipleObjectsSurvive(t *testing.T) {
+	s := newTestStore(t, 1000)
+	const files = 5
+	for i := 0; i < files; i++ {
+		if err := s.Insert(fmt.Sprintf("file-%d", i), 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(400)
+	if lost := s.Lost(); len(lost) != 0 {
+		t.Fatalf("objects lost: %v", lost)
+	}
+	if got := len(s.Objects()); got != files {
+		t.Fatalf("store lists %d objects, want %d", got, files)
+	}
+	// Each object's replica count should sit near its own equilibrium.
+	eq := StableEquilibrium(4, 0.2, 0.1)
+	want := eq.Stash * 1000
+	for _, name := range s.Objects() {
+		got := float64(s.Replicas(name))
+		if got < 0.4*want || got > 2*want {
+			t.Fatalf("object %s has %v replicas, equilibrium %v", name, got, want)
+		}
+	}
+}
+
+func TestStoreHoldersMatchReplicas(t *testing.T) {
+	s := newTestStore(t, 500)
+	if err := s.Insert("doc", 50); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(50)
+	holders, ok := s.Holders("doc")
+	if !ok {
+		t.Fatal("object missing")
+	}
+	if len(holders) != s.Replicas("doc") {
+		t.Fatalf("holders %d vs replicas %d", len(holders), s.Replicas("doc"))
+	}
+	if _, ok := s.Holders("nope"); ok {
+		t.Fatal("unknown object reported holders")
+	}
+}
+
+func TestStoreObjectsMigrateIndependently(t *testing.T) {
+	s := newTestStore(t, 500)
+	if err := s.Insert("a", 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("b", 50); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(200)
+	ha, _ := s.Holders("a")
+	hb, _ := s.Holders("b")
+	// Independent protocols: the two replica sets should differ
+	// substantially (identical sets would mean correlated placement an
+	// attacker could exploit).
+	inBoth := 0
+	setA := make(map[int]bool, len(ha))
+	for _, h := range ha {
+		setA[h] = true
+	}
+	for _, h := range hb {
+		if setA[h] {
+			inBoth++
+		}
+	}
+	if len(ha) > 0 && inBoth == len(ha) && inBoth == len(hb) {
+		t.Fatal("replica sets of independent objects are identical")
+	}
+}
+
+func TestStoreHostLoadFairness(t *testing.T) {
+	s := newTestStore(t, 300)
+	for i := 0; i < 8; i++ {
+		if err := s.Insert(fmt.Sprintf("f%d", i), 60); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Accumulate per-host occupancy over time (Fairness is a long-run
+	// property).
+	occupancy := make([]int, 300)
+	for t2 := 0; t2 < 300; t2++ {
+		s.Tick()
+		for h := 0; h < 300; h++ {
+			occupancy[h] += s.HostLoad(h)
+		}
+	}
+	cv := stats.OccupancyFairness(occupancy)
+	if cv > 0.8 {
+		t.Fatalf("long-run host load CV %v; Fairness demands a flat distribution", cv)
+	}
+}
+
+func TestStoreMassiveFailureAndRejoin(t *testing.T) {
+	s := newTestStore(t, 800)
+	if err := s.Insert("survivor", 120); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(100)
+	for h := 0; h < 400; h++ {
+		s.KillHost(h)
+	}
+	s.KillHost(3) // idempotent
+	if s.AliveHosts() != 400 {
+		t.Fatalf("alive hosts %d, want 400", s.AliveHosts())
+	}
+	s.Run(200)
+	if len(s.Lost()) != 0 {
+		t.Fatal("object lost after 50% host failure")
+	}
+	for h := 0; h < 400; h++ {
+		if err := s.ReviveHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.ReviveHost(3); err == nil {
+		t.Fatal("reviving an up host should error")
+	}
+	s.Run(200)
+	if len(s.Lost()) != 0 {
+		t.Fatal("object lost after rejoin")
+	}
+}
+
+// TestStoreFailuresApplyToLateInserts: an object inserted after a host
+// failure must not see the dead host as a contact success.
+func TestStoreFailuresApplyToLateInserts(t *testing.T) {
+	s := newTestStore(t, 200)
+	for h := 100; h < 200; h++ {
+		s.KillHost(h)
+	}
+	if err := s.Insert("late", 30); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(50)
+	holders, _ := s.Holders("late")
+	for _, h := range holders {
+		if h >= 100 {
+			t.Fatalf("dead host %d holds a replica", h)
+		}
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	s := newTestStore(t, 100)
+	if err := s.Insert("tmp", 10); err != nil {
+		t.Fatal(err)
+	}
+	s.Delete("tmp")
+	if len(s.Objects()) != 0 {
+		t.Fatal("delete failed")
+	}
+	if s.Replicas("tmp") != 0 {
+		t.Fatal("deleted object reports replicas")
+	}
+}
+
+func TestStoreTransfersAccumulate(t *testing.T) {
+	s := newTestStore(t, 400)
+	if err := s.Insert("busy", 60); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(100)
+	if s.Transfers("busy") == 0 {
+		t.Fatal("no transfers recorded; migration not happening")
+	}
+	if s.Transfers("nope") != 0 {
+		t.Fatal("unknown object reports transfers")
+	}
+}

@@ -1,0 +1,87 @@
+// Package epidemic implements the paper's motivating example (§1): the
+// canonical pull epidemic derived from equation system (0),
+//
+//	ẋ = −xy,  ẏ = xy,
+//
+// where x is the fraction of susceptible and y the fraction of infected
+// processes. Translating (0) through the framework yields exactly the
+// canonical epidemic pull algorithm (each susceptible process contacts one
+// uniformly random process per period and turns infected if the target is
+// infected), and the analysis predicts x → 0 in O(log N) rounds.
+package epidemic
+
+import (
+	"fmt"
+	"math"
+
+	"odeproto/internal/core"
+	"odeproto/internal/ode"
+	"odeproto/internal/sim"
+)
+
+// Susceptible and Infected are the protocol's states.
+const (
+	Susceptible = ode.Var("x")
+	Infected    = ode.Var("y")
+)
+
+// System returns equation system (0) over fractions.
+func System() *ode.System {
+	s := ode.NewSystem()
+	s.MustAddEquation(Susceptible, ode.NewTerm(-1, map[ode.Var]int{Susceptible: 1, Infected: 1}))
+	s.MustAddEquation(Infected, ode.NewTerm(1, map[ode.Var]int{Susceptible: 1, Infected: 1}))
+	return s
+}
+
+// NewProtocol translates (0) into the canonical pull protocol. The single
+// term has c = 1, so p = 1 and the coin is certain: one sample per
+// susceptible per period, infection on contact.
+func NewProtocol() (*core.Protocol, error) {
+	return core.Translate(System(), core.Options{})
+}
+
+// Result summarizes one epidemic run.
+type Result struct {
+	N      int
+	Rounds int // rounds until no susceptibles remain
+}
+
+// Run starts one infected process among n and runs the pull protocol until
+// everyone is infected (or maxRounds passes, which is reported as an
+// error). The paper's analysis predicts O(log N) rounds.
+func Run(n int, seed int64, maxRounds int) (Result, error) {
+	proto, err := NewProtocol()
+	if err != nil {
+		return Result{}, err
+	}
+	e, err := sim.New(sim.Config{
+		N:        n,
+		Protocol: proto,
+		Initial:  map[ode.Var]int{Susceptible: n - 1, Infected: 1},
+		Seed:     seed,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	for r := 0; r < maxRounds; r++ {
+		if e.Count(Susceptible) == 0 {
+			return Result{N: n, Rounds: r}, nil
+		}
+		e.Step()
+	}
+	return Result{}, fmt.Errorf("epidemic: not complete after %d rounds (x = %d)", maxRounds, e.Count(Susceptible))
+}
+
+// PredictedRounds returns the O(log N) reference value: the logistic
+// solution of (0) reaches x ≈ 1 process after roughly 2·ln N rounds
+// (growth phase ln N from one infective to N/2, decay phase ln N from N/2
+// susceptibles down to 1).
+func PredictedRounds(n int) float64 {
+	return 2 * math.Log(float64(n))
+}
+
+// LogisticInfected returns the closed-form mean-field solution
+// y(t) = y0 / (y0 + (1−y0)e^{−t}) of equation system (0).
+func LogisticInfected(y0, t float64) float64 {
+	return y0 / (y0 + (1-y0)*math.Exp(-t))
+}

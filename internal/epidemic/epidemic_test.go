@@ -1,0 +1,93 @@
+package epidemic
+
+import (
+	"math"
+	"testing"
+
+	"odeproto/internal/core"
+)
+
+func TestSystemShape(t *testing.T) {
+	s := System()
+	c := s.Classify()
+	if !c.Mappable() || !c.RestrictedPolynomial {
+		t.Fatalf("epidemic classification %v", c)
+	}
+}
+
+func TestProtocolIsCanonicalPull(t *testing.T) {
+	proto, err := NewProtocol()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proto.Actions) != 1 {
+		t.Fatalf("actions = %v", proto.Actions)
+	}
+	a := proto.Actions[0]
+	if a.Kind != core.Sample || a.Owner != Susceptible || a.To != Infected || a.Coin != 1 {
+		t.Fatalf("not the canonical pull: %v", a)
+	}
+}
+
+func TestRunCompletesInLogRounds(t *testing.T) {
+	for _, n := range []int{1000, 4000} {
+		res, err := Run(n, 11, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// O(log N): allow a factor ~4 over the 2·ln N prediction for the
+		// stochastic tail.
+		if float64(res.Rounds) > 4*PredictedRounds(n) {
+			t.Fatalf("N=%d: %d rounds, predicted %v", n, res.Rounds, PredictedRounds(n))
+		}
+		if res.Rounds < 5 {
+			t.Fatalf("N=%d: implausibly fast (%d rounds)", n, res.Rounds)
+		}
+	}
+}
+
+// TestLogNScaling: rounds grow roughly logarithmically — doubling N twice
+// must not double the rounds.
+func TestLogNScaling(t *testing.T) {
+	small, err := Run(1000, 5, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(16000, 5, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(big.Rounds) > 2.5*float64(small.Rounds) {
+		t.Fatalf("rounds 16x N: %d vs %d — not logarithmic", big.Rounds, small.Rounds)
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	if _, err := Run(1000, 1, 2); err == nil {
+		t.Fatal("expected timeout error")
+	}
+}
+
+func TestLogisticInfected(t *testing.T) {
+	if got := LogisticInfected(0.5, 0); got != 0.5 {
+		t.Fatalf("y(0) = %v", got)
+	}
+	if got := LogisticInfected(0.01, 100); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("y(∞) = %v, want 1", got)
+	}
+	// Monotone increasing.
+	prev := 0.0
+	for _, tm := range []float64{0, 1, 2, 4, 8} {
+		v := LogisticInfected(0.1, tm)
+		if v <= prev {
+			t.Fatalf("logistic not increasing at t=%v", tm)
+		}
+		prev = v
+	}
+}
+
+func TestPredictedRounds(t *testing.T) {
+	if PredictedRounds(1000) <= PredictedRounds(100) {
+		t.Fatal("prediction must grow with N")
+	}
+}

@@ -1,0 +1,404 @@
+// Package linalg provides the small dense linear algebra kernel used by the
+// nonlinear-dynamics analysis in this repository: matrices sized by the
+// number of protocol states (typically 2–4), trace and determinant,
+// characteristic polynomials, and eigenvalue computation.
+//
+// The paper's stability analysis (§4.1.3) classifies equilibria through the
+// trace and determinant of a linearization matrix A and through its
+// eigenvalues λ = (τ ± sqrt(τ²−4Δ))/2; this package supplies exactly those
+// primitives, generalized to m×m via the Faddeev–LeVerrier characteristic
+// polynomial and Durand–Kerner root finding.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// ErrSingular is returned when a matrix operation requires an invertible
+// matrix but the argument is (numerically) singular.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// Matrix is a dense, row-major real matrix.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix returns a zero rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices. All rows must share one length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("linalg: FromRows needs at least one non-empty row")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic(fmt.Sprintf("linalg: ragged row %d (len %d, want %d)", i, len(r), m.cols))
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Add returns m + other.
+func (m *Matrix) Add(other *Matrix) *Matrix {
+	m.mustSameShape(other)
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] += other.data[i]
+	}
+	return out
+}
+
+// Sub returns m − other.
+func (m *Matrix) Sub(other *Matrix) *Matrix {
+	m.mustSameShape(other)
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] -= other.data[i]
+	}
+	return out
+}
+
+// Scale returns s·m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] *= s
+	}
+	return out
+}
+
+// Mul returns the matrix product m·other.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	if m.cols != other.rows {
+		panic(fmt.Sprintf("linalg: dimension mismatch %dx%d · %dx%d", m.rows, m.cols, other.rows, other.cols))
+	}
+	out := NewMatrix(m.rows, other.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < other.cols; j++ {
+				out.data[i*out.cols+j] += a * other.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m·v.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if m.cols != len(v) {
+		panic(fmt.Sprintf("linalg: dimension mismatch %dx%d · vec(%d)", m.rows, m.cols, len(v)))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for j := 0; j < m.cols; j++ {
+			s += m.At(i, j) * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Trace returns the sum of diagonal elements of a square matrix.
+func (m *Matrix) Trace() float64 {
+	m.mustSquare()
+	var t float64
+	for i := 0; i < m.rows; i++ {
+		t += m.At(i, i)
+	}
+	return t
+}
+
+// Det returns the determinant via LU decomposition with partial pivoting.
+func (m *Matrix) Det() float64 {
+	m.mustSquare()
+	n := m.rows
+	lu := m.Clone()
+	det := 1.0
+	for col := 0; col < n; col++ {
+		pivot := col
+		best := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if a := math.Abs(lu.At(r, col)); a > best {
+				best, pivot = a, r
+			}
+		}
+		if best == 0 {
+			return 0
+		}
+		if pivot != col {
+			lu.swapRows(pivot, col)
+			det = -det
+		}
+		p := lu.At(col, col)
+		det *= p
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) / p
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				lu.Set(r, c, lu.At(r, c)-f*lu.At(col, c))
+			}
+		}
+	}
+	return det
+}
+
+// Solve solves m·x = b for x (square systems) using Gaussian elimination
+// with partial pivoting. It returns ErrSingular for singular systems.
+func (m *Matrix) Solve(b []float64) ([]float64, error) {
+	m.mustSquare()
+	n := m.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: rhs length %d, want %d", len(b), n)
+	}
+	a := m.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+	for col := 0; col < n; col++ {
+		pivot := col
+		best := math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-300 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			a.swapRows(pivot, col)
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		p := a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) / p
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a.Set(r, c, a.At(r, c)-f*a.At(col, c))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= a.At(i, j) * x[j]
+		}
+		x[i] = s / a.At(i, i)
+	}
+	return x, nil
+}
+
+func (m *Matrix) swapRows(i, j int) {
+	ri := m.data[i*m.cols : (i+1)*m.cols]
+	rj := m.data[j*m.cols : (j+1)*m.cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+func (m *Matrix) mustSquare() {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("linalg: matrix %dx%d is not square", m.rows, m.cols))
+	}
+}
+
+func (m *Matrix) mustSameShape(other *Matrix) {
+	if m.rows != other.rows || m.cols != other.cols {
+		panic(fmt.Sprintf("linalg: shape mismatch %dx%d vs %dx%d", m.rows, m.cols, other.rows, other.cols))
+	}
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.rows; i++ {
+		sb.WriteString("[")
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteString(" ")
+			}
+			fmt.Fprintf(&sb, "%.6g", m.At(i, j))
+		}
+		sb.WriteString("]\n")
+	}
+	return sb.String()
+}
+
+// CharacteristicPolynomial returns the coefficients c of
+// det(λI − m) = λ^n + c[1]·λ^(n−1) + … + c[n], computed with the
+// Faddeev–LeVerrier recurrence. The returned slice has length n+1 with
+// c[0] = 1.
+func (m *Matrix) CharacteristicPolynomial() []float64 {
+	m.mustSquare()
+	n := m.rows
+	coeffs := make([]float64, n+1)
+	coeffs[0] = 1
+	mk := Identity(n) // M_0 = I
+	for k := 1; k <= n; k++ {
+		am := m.Mul(mk)
+		c := -am.Trace() / float64(k)
+		coeffs[k] = c
+		if k < n {
+			mk = am.Add(Identity(n).Scale(c))
+		}
+	}
+	return coeffs
+}
+
+// Eigenvalues returns all eigenvalues of the square matrix, with
+// multiplicity, as complex numbers. For 2×2 matrices the closed form
+// λ = (τ ± sqrt(τ²−4Δ))/2 from the paper is used; larger matrices go
+// through the characteristic polynomial and Durand–Kerner iteration.
+func (m *Matrix) Eigenvalues() []complex128 {
+	m.mustSquare()
+	if m.rows == 1 {
+		return []complex128{complex(m.At(0, 0), 0)}
+	}
+	if m.rows == 2 {
+		tau := m.Trace()
+		delta := m.Det()
+		disc := tau*tau - 4*delta
+		if disc >= 0 {
+			r := math.Sqrt(disc)
+			return []complex128{
+				complex((tau+r)/2, 0),
+				complex((tau-r)/2, 0),
+			}
+		}
+		im := math.Sqrt(-disc) / 2
+		return []complex128{
+			complex(tau/2, im),
+			complex(tau/2, -im),
+		}
+	}
+	return PolyRoots(m.CharacteristicPolynomial())
+}
+
+// PolyRoots finds all complex roots of the polynomial
+// c[0]·x^n + c[1]·x^(n−1) + … + c[n] using the Durand–Kerner
+// (Weierstrass) simultaneous iteration. c[0] must be non-zero.
+func PolyRoots(coeffs []float64) []complex128 {
+	n := len(coeffs) - 1
+	if n <= 0 {
+		return nil
+	}
+	if coeffs[0] == 0 {
+		panic("linalg: leading coefficient must be non-zero")
+	}
+	// Normalize to monic.
+	c := make([]complex128, n+1)
+	for i, v := range coeffs {
+		c[i] = complex(v/coeffs[0], 0)
+	}
+	eval := func(x complex128) complex128 {
+		r := c[0]
+		for i := 1; i <= n; i++ {
+			r = r*x + c[i]
+		}
+		return r
+	}
+	// Initial guesses on a circle of radius derived from coefficient bounds,
+	// at non-real, non-symmetric angles (the standard (0.4+0.9i)^k trick).
+	radius := 0.0
+	for i := 1; i <= n; i++ {
+		if r := math.Pow(cmplx.Abs(c[i]), 1/float64(i)); r > radius {
+			radius = r
+		}
+	}
+	if radius == 0 {
+		radius = 1
+	}
+	radius *= 1.5
+	roots := make([]complex128, n)
+	seedAngle := complex(0.4, 0.9)
+	cur := seedAngle
+	for i := range roots {
+		roots[i] = complex(radius, 0) * cur / complex(cmplx.Abs(cur), 0)
+		cur *= seedAngle
+	}
+	const (
+		maxIter = 500
+		tol     = 1e-13
+	)
+	for iter := 0; iter < maxIter; iter++ {
+		maxDelta := 0.0
+		for i := range roots {
+			denom := complex(1, 0)
+			for j := range roots {
+				if j != i {
+					denom *= roots[i] - roots[j]
+				}
+			}
+			if denom == 0 {
+				// Perturb coincident guesses.
+				roots[i] += complex(1e-8, 1e-8)
+				continue
+			}
+			delta := eval(roots[i]) / denom
+			roots[i] -= delta
+			if d := cmplx.Abs(delta); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		if maxDelta < tol {
+			break
+		}
+	}
+	// Snap tiny imaginary parts (conjugate-pair noise) to the real axis.
+	for i, r := range roots {
+		if math.Abs(imag(r)) < 1e-9*(1+math.Abs(real(r))) {
+			roots[i] = complex(real(r), 0)
+		}
+	}
+	return roots
+}

@@ -1,0 +1,305 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.Rows() != 2 || m.Cols() != 2 {
+		t.Fatalf("shape = %dx%d, want 2x2", m.Rows(), m.Cols())
+	}
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %v, want 3", m.At(1, 0))
+	}
+	m.Set(1, 0, 9)
+	if m.At(1, 0) != 9 {
+		t.Fatalf("Set failed")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 100)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{4, 3}, {2, 1}})
+	sum := a.Add(b)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if sum.At(i, j) != 5 {
+				t.Fatalf("Add(%d,%d) = %v, want 5", i, j, sum.At(i, j))
+			}
+		}
+	}
+	diff := sum.Sub(b)
+	if diff.At(1, 1) != a.At(1, 1) {
+		t.Fatal("Sub did not invert Add")
+	}
+	sc := a.Scale(2)
+	if sc.At(1, 0) != 6 {
+		t.Fatalf("Scale: got %v, want 6", sc.At(1, 0))
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	id := Identity(2)
+	if p := a.Mul(id); p.At(0, 1) != 2 || p.At(1, 0) != 3 {
+		t.Fatal("A·I != A")
+	}
+	b := FromRows([][]float64{{0, 1}, {1, 0}})
+	p := a.Mul(b)
+	want := FromRows([][]float64{{2, 1}, {4, 3}})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if p.At(i, j) != want.At(i, j) {
+				t.Fatalf("Mul(%d,%d) = %v, want %v", i, j, p.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	v := a.MulVec([]float64{1, 1, 1})
+	if v[0] != 6 || v[1] != 15 {
+		t.Fatalf("MulVec = %v, want [6 15]", v)
+	}
+}
+
+func TestTraceDet2x2(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	if a.Trace() != 4 {
+		t.Fatalf("trace = %v, want 4", a.Trace())
+	}
+	if !almostEq(a.Det(), 3, 1e-12) {
+		t.Fatalf("det = %v, want 3", a.Det())
+	}
+}
+
+func TestDet3x3(t *testing.T) {
+	a := FromRows([][]float64{
+		{6, 1, 1},
+		{4, -2, 5},
+		{2, 8, 7},
+	})
+	if !almostEq(a.Det(), -306, 1e-9) {
+		t.Fatalf("det = %v, want -306", a.Det())
+	}
+}
+
+func TestDetSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if a.Det() != 0 {
+		t.Fatalf("det of singular = %v, want 0", a.Det())
+	}
+}
+
+func TestSolve(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := a.Solve([]float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 1, 1e-12) || !almostEq(x[1], 3, 1e-12) {
+		t.Fatalf("solution = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := a.Solve([]float64{1, 2}); err == nil {
+		t.Fatal("expected ErrSingular for singular system")
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	b := []float64{5, 10}
+	if _, err := a.Solve(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 2 || b[1] != 10 {
+		t.Fatal("Solve mutated its inputs")
+	}
+}
+
+func TestCharacteristicPolynomial2x2(t *testing.T) {
+	// λ² − τλ + Δ for [[2,1],[1,2]]: λ² − 4λ + 3.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	c := a.CharacteristicPolynomial()
+	if len(c) != 3 {
+		t.Fatalf("len = %d, want 3", len(c))
+	}
+	if !almostEq(c[0], 1, 1e-12) || !almostEq(c[1], -4, 1e-12) || !almostEq(c[2], 3, 1e-12) {
+		t.Fatalf("char poly = %v, want [1 -4 3]", c)
+	}
+}
+
+func TestEigenvalues2x2Real(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	ev := a.Eigenvalues()
+	got := []float64{real(ev[0]), real(ev[1])}
+	sort.Float64s(got)
+	if !almostEq(got[0], 1, 1e-9) || !almostEq(got[1], 3, 1e-9) {
+		t.Fatalf("eigenvalues = %v, want 1 and 3", got)
+	}
+	for _, e := range ev {
+		if imag(e) != 0 {
+			t.Fatalf("expected real eigenvalues, got %v", ev)
+		}
+	}
+}
+
+func TestEigenvalues2x2Complex(t *testing.T) {
+	// Rotation-like matrix: eigenvalues ±i.
+	a := FromRows([][]float64{{0, -1}, {1, 0}})
+	ev := a.Eigenvalues()
+	for _, e := range ev {
+		if !almostEq(real(e), 0, 1e-9) || !almostEq(math.Abs(imag(e)), 1, 1e-9) {
+			t.Fatalf("eigenvalues = %v, want ±i", ev)
+		}
+	}
+}
+
+func TestEigenvalues3x3Diagonal(t *testing.T) {
+	a := FromRows([][]float64{
+		{5, 0, 0},
+		{0, -2, 0},
+		{0, 0, 1},
+	})
+	ev := a.Eigenvalues()
+	got := make([]float64, 0, 3)
+	for _, e := range ev {
+		if math.Abs(imag(e)) > 1e-8 {
+			t.Fatalf("unexpected complex eigenvalue %v", e)
+		}
+		got = append(got, real(e))
+	}
+	sort.Float64s(got)
+	want := []float64{-2, 1, 5}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-7) {
+			t.Fatalf("eigenvalues = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEigenvalues3x3UpperTriangular(t *testing.T) {
+	a := FromRows([][]float64{
+		{1, 7, 3},
+		{0, 2, -4},
+		{0, 0, 3},
+	})
+	ev := a.Eigenvalues()
+	got := make([]float64, 0, 3)
+	for _, e := range ev {
+		got = append(got, real(e))
+	}
+	sort.Float64s(got)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-6) {
+			t.Fatalf("eigenvalues = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPolyRootsQuadratic(t *testing.T) {
+	// (x−2)(x+3) = x² + x − 6
+	roots := PolyRoots([]float64{1, 1, -6})
+	got := []float64{real(roots[0]), real(roots[1])}
+	sort.Float64s(got)
+	if !almostEq(got[0], -3, 1e-9) || !almostEq(got[1], 2, 1e-9) {
+		t.Fatalf("roots = %v, want -3 and 2", got)
+	}
+}
+
+func TestPolyRootsComplexPair(t *testing.T) {
+	// x² + 1 → ±i
+	roots := PolyRoots([]float64{1, 0, 1})
+	for _, r := range roots {
+		if !almostEq(real(r), 0, 1e-9) || !almostEq(math.Abs(imag(r)), 1, 1e-9) {
+			t.Fatalf("roots = %v, want ±i", roots)
+		}
+	}
+}
+
+func TestPolyRootsCubic(t *testing.T) {
+	// (x−1)(x−2)(x−3) = x³ − 6x² + 11x − 6
+	roots := PolyRoots([]float64{1, -6, 11, -6})
+	got := make([]float64, 0, 3)
+	for _, r := range roots {
+		got = append(got, real(r))
+	}
+	sort.Float64s(got)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-7) {
+			t.Fatalf("roots = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: eigenvalue sum equals trace and product equals determinant,
+// for random 3×3 matrices.
+func TestEigenvalueInvariants(t *testing.T) {
+	f := func(a, b, c, d, e, f2, g, h, i float64) bool {
+		clamp := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0
+			}
+			return math.Mod(x, 10)
+		}
+		m := FromRows([][]float64{
+			{clamp(a), clamp(b), clamp(c)},
+			{clamp(d), clamp(e), clamp(f2)},
+			{clamp(g), clamp(h), clamp(i)},
+		})
+		ev := m.Eigenvalues()
+		var sum, prod complex128 = 0, 1
+		for _, x := range ev {
+			sum += x
+			prod *= x
+		}
+		tol := 1e-5 * (1 + math.Abs(m.Trace()) + math.Abs(m.Det()))
+		return cmplx.Abs(sum-complex(m.Trace(), 0)) < tol &&
+			cmplx.Abs(prod-complex(m.Det(), 0)) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: det(A·B) = det(A)·det(B) for random 2×2 matrices.
+func TestDetMultiplicative(t *testing.T) {
+	f := func(a, b, c, d, e, f2, g, h float64) bool {
+		clamp := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 1
+			}
+			return math.Mod(x, 5)
+		}
+		m1 := FromRows([][]float64{{clamp(a), clamp(b)}, {clamp(c), clamp(d)}})
+		m2 := FromRows([][]float64{{clamp(e), clamp(f2)}, {clamp(g), clamp(h)}})
+		lhs := m1.Mul(m2).Det()
+		rhs := m1.Det() * m2.Det()
+		return math.Abs(lhs-rhs) < 1e-6*(1+math.Abs(rhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

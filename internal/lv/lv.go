@@ -1,0 +1,303 @@
+// Package lv implements Case Study II of the paper (§4.2): the
+// Lotka–Volterra (LV) protocol for probabilistic majority selection,
+// derived from the competition equations (6)
+//
+//	ẋ = 3x(1 − x − 2y)
+//	ẏ = 3y(1 − y − 2x)
+//
+// rewritten (via the slack variable z = 1 − x − y) into the mappable
+// system (7)
+//
+//	ẋ = +3xz − 3xy
+//	ẏ = +3yz − 3xy
+//	ż = −3xz − 3yz + 3xy + 3xy
+//
+// States x and y are the two proposals; z is "undecided" (the running
+// decision value b). By the principle of competitive exclusion the system
+// converges to everyone-x or everyone-y, and Theorem 4 shows the winner is
+// the initial majority: all initial points right of the diagonal x = y
+// reach (1, 0), all points left of it reach (0, 1).
+package lv
+
+import (
+	"fmt"
+	"math"
+
+	"odeproto/internal/core"
+	"odeproto/internal/ode"
+	"odeproto/internal/rewrite"
+	"odeproto/internal/sim"
+)
+
+// Protocol states: the two competing proposals and the undecided state.
+const (
+	ProposalX = ode.Var("x")
+	ProposalY = ode.Var("y")
+	Undecided = ode.Var("z")
+)
+
+// DefaultP is the normalizing constant used throughout the paper's LV
+// experiments (§5.2).
+const DefaultP = 0.01
+
+// CompetitionSystem returns the raw LV competition equations (6), which
+// are not complete (they lack the z variable).
+func CompetitionSystem() *ode.System {
+	s := ode.NewSystem()
+	s.MustAddEquation(ProposalX,
+		ode.NewTerm(3, map[ode.Var]int{ProposalX: 1}),
+		ode.NewTerm(-3, map[ode.Var]int{ProposalX: 2}),
+		ode.NewTerm(-6, map[ode.Var]int{ProposalX: 1, ProposalY: 1}))
+	s.MustAddEquation(ProposalY,
+		ode.NewTerm(3, map[ode.Var]int{ProposalY: 1}),
+		ode.NewTerm(-3, map[ode.Var]int{ProposalY: 2}),
+		ode.NewTerm(-6, map[ode.Var]int{ProposalX: 1, ProposalY: 1}))
+	return s
+}
+
+// System returns the paper's rewritten, mappable equations (7).
+func System() *ode.System {
+	s := ode.NewSystem()
+	s.MustAddEquation(ProposalX,
+		ode.NewTerm(3, map[ode.Var]int{ProposalX: 1, Undecided: 1}),
+		ode.NewTerm(-3, map[ode.Var]int{ProposalX: 1, ProposalY: 1}))
+	s.MustAddEquation(ProposalY,
+		ode.NewTerm(3, map[ode.Var]int{ProposalY: 1, Undecided: 1}),
+		ode.NewTerm(-3, map[ode.Var]int{ProposalX: 1, ProposalY: 1}))
+	s.MustAddEquation(Undecided,
+		ode.NewTerm(-3, map[ode.Var]int{ProposalX: 1, Undecided: 1}),
+		ode.NewTerm(-3, map[ode.Var]int{ProposalY: 1, Undecided: 1}),
+		ode.NewTerm(3, map[ode.Var]int{ProposalX: 1, ProposalY: 1}),
+		ode.NewTerm(3, map[ode.Var]int{ProposalX: 1, ProposalY: 1}))
+	return s
+}
+
+// RewrittenSystem derives (7) from (6) mechanically with the §7 rewriting
+// pipeline (Complete + Homogenize + SplitForPartition); the test suite
+// verifies it is dynamically identical to System().
+func RewrittenSystem() (*ode.System, error) {
+	return rewrite.MakeMappable(CompetitionSystem(), Undecided)
+}
+
+// NewProtocol translates (7) into the LV protocol of Figure 3 with
+// normalizing constant p (all four one-time-sampling actions use coin 3p).
+// Pass 0 for DefaultP.
+func NewProtocol(p float64) (*core.Protocol, error) {
+	if p == 0 {
+		p = DefaultP
+	}
+	return core.Translate(System(), core.Options{P: p})
+}
+
+// Run is one majority-selection execution trace.
+type Run struct {
+	Times []float64
+	X     []float64 // processes proposing x
+	Y     []float64
+	Z     []float64 // undecided
+	// ConvergedAt is the first period where one proposal holds every
+	// alive process, or -1 if the run ended first.
+	ConvergedAt int
+	// Winner is the state that won ("" while unconverged).
+	Winner ode.Var
+	Killed int
+}
+
+// Config parameterizes a convergence run (Figures 11 and 12).
+type Config struct {
+	N        int
+	InitialX int
+	InitialY int
+	P        float64 // normalizing constant (0 → DefaultP)
+	Periods  int
+	// FailAt, when ≥ 0, crashes FailFrac of the processes at that period
+	// (Figure 12 uses FailAt = 100, FailFrac = 0.5).
+	FailAt      int
+	FailFrac    float64
+	SampleEvery int
+	Seed        int64
+}
+
+// Simulate runs the LV protocol from the given split and records the
+// population series.
+func Simulate(cfg Config) (*Run, error) {
+	if cfg.InitialX+cfg.InitialY > cfg.N {
+		return nil, fmt.Errorf("lv: initial proposals exceed N")
+	}
+	if cfg.SampleEvery < 1 {
+		cfg.SampleEvery = 1
+	}
+	proto, err := NewProtocol(cfg.P)
+	if err != nil {
+		return nil, err
+	}
+	e, err := sim.New(sim.Config{
+		N:        cfg.N,
+		Protocol: proto,
+		Initial: map[ode.Var]int{
+			ProposalX: cfg.InitialX,
+			ProposalY: cfg.InitialY,
+			Undecided: cfg.N - cfg.InitialX - cfg.InitialY,
+		},
+		Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	run := &Run{ConvergedAt: -1}
+	for t := 0; t < cfg.Periods; t++ {
+		if cfg.FailAt >= 0 && t == cfg.FailAt && cfg.FailFrac > 0 {
+			run.Killed = e.KillFraction(cfg.FailFrac)
+		}
+		e.Step()
+		if t%cfg.SampleEvery == 0 {
+			run.Times = append(run.Times, float64(t))
+			run.X = append(run.X, float64(e.Count(ProposalX)))
+			run.Y = append(run.Y, float64(e.Count(ProposalY)))
+			run.Z = append(run.Z, float64(e.Count(Undecided)))
+		}
+		if run.ConvergedAt < 0 {
+			switch e.Alive() {
+			case e.Count(ProposalX):
+				run.ConvergedAt = t
+				run.Winner = ProposalX
+			case e.Count(ProposalY):
+				run.ConvergedAt = t
+				run.Winner = ProposalY
+			}
+		}
+	}
+	return run, nil
+}
+
+// PhaseTrajectory is one (X(t), Y(t)) path of the Figure 4 phase portrait.
+type PhaseTrajectory struct {
+	X0, Y0, Z0 int
+	Xs, Ys     []float64
+}
+
+// Figure4InitialPoints returns the seven initial points of the Figure 4
+// caption for N = 1000.
+func Figure4InitialPoints() [][3]int {
+	return [][3]int{
+		{100, 200, 700}, // blank square
+		{200, 100, 700}, // dark square
+		{300, 500, 200}, // blank circle
+		{500, 300, 200}, // dark circle
+		{100, 800, 100}, // blank triangle
+		{800, 100, 100}, // dark triangle
+		{100, 100, 800}, // blank inverted triangle
+	}
+}
+
+// PhasePortrait simulates the LV protocol from each initial point,
+// recording (X, Y) — the paper's Figure 4.
+func PhasePortrait(n int, p float64, initials [][3]int, periods, sampleEvery int, seed int64) ([]PhaseTrajectory, error) {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	proto, err := NewProtocol(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PhaseTrajectory, 0, len(initials))
+	for i, ic := range initials {
+		if ic[0]+ic[1]+ic[2] != n {
+			return nil, fmt.Errorf("lv: initial point %v does not sum to N = %d", ic, n)
+		}
+		e, err := sim.New(sim.Config{
+			N:        n,
+			Protocol: proto,
+			Initial:  map[ode.Var]int{ProposalX: ic[0], ProposalY: ic[1], Undecided: ic[2]},
+			Seed:     seed + int64(i)*7919,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tr := PhaseTrajectory{X0: ic[0], Y0: ic[1], Z0: ic[2]}
+		for t := 0; t < periods; t++ {
+			if t%sampleEvery == 0 {
+				tr.Xs = append(tr.Xs, float64(e.Count(ProposalX)))
+				tr.Ys = append(tr.Ys, float64(e.Count(ProposalY)))
+			}
+			e.Step()
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}
+
+// AccuracyPoint is one margin setting of the majority-accuracy sweep.
+type AccuracyPoint struct {
+	// MarginPct is the initial majority share in percent (e.g. 55 for a
+	// 55/45 split).
+	MarginPct int
+	// Accuracy is the fraction of trials in which the initial majority
+	// won.
+	Accuracy float64
+	// MeanConvergence is the mean convergence period over converged
+	// trials (-1 if none converged).
+	MeanConvergence float64
+}
+
+// MajorityAccuracy quantifies the probabilistic-majority-selection
+// specification ("w.h.p. this is the same as the initial majority value",
+// §4.2): for each majority share it runs `trials` independent elections
+// and reports how often the initial majority won. Accuracy approaches 1
+// as the margin grows and as N grows (the saddle at x = y only threatens
+// near-tie starts).
+func MajorityAccuracy(n int, marginsPct []int, trials, periods int, p float64, seed int64) ([]AccuracyPoint, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("lv: trials must be positive")
+	}
+	out := make([]AccuracyPoint, 0, len(marginsPct))
+	for _, m := range marginsPct {
+		if m < 50 || m > 100 {
+			return nil, fmt.Errorf("lv: margin %d%% outside [50, 100]", m)
+		}
+		wins, converged := 0, 0
+		var convSum float64
+		for tr := 0; tr < trials; tr++ {
+			run, err := Simulate(Config{
+				N:        n,
+				InitialX: n * m / 100,
+				InitialY: n - n*m/100,
+				P:        p,
+				Periods:  periods,
+				FailAt:   -1,
+				Seed:     seed + int64(tr)*9973 + int64(m)*31,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if run.ConvergedAt >= 0 {
+				converged++
+				convSum += float64(run.ConvergedAt)
+				if run.Winner == ProposalX {
+					wins++
+				}
+			} else if run.X[len(run.X)-1] > run.Y[len(run.Y)-1] {
+				// Count unconverged runs by their current leader.
+				wins++
+			}
+		}
+		pt := AccuracyPoint{MarginPct: m, Accuracy: float64(wins) / float64(trials), MeanConvergence: -1}
+		if converged > 0 {
+			pt.MeanConvergence = convSum / float64(converged)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// ConvergenceComplexity evaluates the §4.2.2 closed-form linearized
+// solution near the stable point (0, 1):
+//
+//	x(t) = u₀·e^{−3t},  y(t) = 1 − (6·u₀·t + v₀)·e^{−3t}
+//
+// for an initial displacement x(0) = u₀, y(0) = 1 − v₀. Time is in source
+// equation units (divide protocol periods by 1/p to convert).
+func ConvergenceComplexity(u0, v0, t float64) (x, y float64) {
+	decay := math.Exp(-3 * t)
+	return u0 * decay, 1 - (6*u0*t+v0)*decay
+}

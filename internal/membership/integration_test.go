@@ -1,0 +1,69 @@
+package membership_test
+
+import (
+	"testing"
+
+	"odeproto/internal/endemic"
+	"odeproto/internal/membership"
+	"odeproto/internal/ode"
+	"odeproto/internal/sim"
+)
+
+// TestDetectorTracksEngineFailures wires the SWIM-style detector to the
+// simulation engine's liveness state (the configuration §6 suggests for
+// directed token routing): after a massive failure in the engine, the
+// detector's alive view converges to the surviving membership.
+func TestDetectorTracksEngineFailures(t *testing.T) {
+	const n = 60
+	proto, err := endemic.NewFigure1Protocol(endemic.Params{B: 2, Gamma: 0.2, Alpha: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := sim.New(sim.Config{
+		N:        n,
+		Protocol: proto,
+		Initial: map[ode.Var]int{
+			endemic.Receptive: n / 2,
+			endemic.Stash:     n / 2,
+			endemic.Averse:    0,
+		},
+		Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := membership.New(membership.Config{Self: 0, N: n, Seed: 6, SuspicionPeriods: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prober := membership.ProberFunc(func(from, to int) bool {
+		return engine.StateOf(from) != sim.Down && engine.StateOf(to) != sim.Down
+	})
+
+	// Healthy phase: detector sees everyone.
+	for i := 0; i < 2*n; i++ {
+		engine.Step()
+		det.Tick(prober)
+	}
+	if det.NumAlive() != n {
+		t.Fatalf("healthy phase: detector alive = %d, want %d", det.NumAlive(), n)
+	}
+
+	killed := engine.KillFraction(0.5)
+	// Failure phase: within a few round-robin cycles plus the suspicion
+	// window every crashed member must be marked dead.
+	for i := 0; i < 4*n; i++ {
+		engine.Step()
+		det.Tick(prober)
+	}
+	if got := det.NumAlive(); got != n-killed {
+		t.Fatalf("post-failure: detector alive = %d, want %d", got, n-killed)
+	}
+	// The detector's alive view can now feed directed token routing:
+	// every member it lists must actually be alive in the engine.
+	for _, m := range det.AliveMembers() {
+		if engine.StateOf(m) == sim.Down {
+			t.Fatalf("detector lists dead member %d as alive", m)
+		}
+	}
+}

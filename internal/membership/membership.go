@@ -1,0 +1,215 @@
+// Package membership provides the group-membership substrate of the
+// paper's system model: every process knows the maximal membership (the
+// other N−1 processes), and a SWIM-style failure detector (Das, Gupta,
+// Motivala, DSN 2002 — cited in §6) maintains liveness marks over it.
+//
+// §6 notes that Tokenizing needs "continuous maintenance of knowledge of
+// which states other processes are in", achievable "by using a scalable
+// membership protocol such as SWIM"; this package supplies the detector
+// half of that machinery for the directed token routing mode, and is
+// usable standalone.
+package membership
+
+import (
+	"fmt"
+	"math/rand"
+
+	"odeproto/internal/mt19937"
+)
+
+// Status is a member's liveness mark.
+type Status int
+
+const (
+	// Alive members respond to probes.
+	Alive Status = iota + 1
+	// Suspect members failed a direct and indirect probe round and are in
+	// the suspicion window.
+	Suspect
+	// Dead members exhausted the suspicion window.
+	Dead
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Prober answers liveness probes; implementations bridge the detector to a
+// simulation engine or a real transport. Probe returns true when the
+// target acknowledged.
+type Prober interface {
+	Probe(from, to int) bool
+}
+
+// ProberFunc adapts a function to the Prober interface.
+type ProberFunc func(from, to int) bool
+
+// Probe implements Prober.
+func (f ProberFunc) Probe(from, to int) bool { return f(from, to) }
+
+// Config tunes a detector.
+type Config struct {
+	// Self is this process's index.
+	Self int
+	// N is the group size (maximal membership).
+	N int
+	// IndirectProbes is the number of helpers asked to ping a
+	// direct-probe failure (SWIM's k; default 3).
+	IndirectProbes int
+	// SuspicionPeriods is how many protocol periods a suspect has to
+	// refute suspicion before being declared dead (default 5).
+	SuspicionPeriods int
+	// Seed seeds the probe-target shuffle.
+	Seed int64
+}
+
+// Detector is a SWIM-style round-robin failure detector over the maximal
+// membership list. It is not safe for concurrent use.
+type Detector struct {
+	cfg          Config
+	rng          *rand.Rand
+	status       []Status
+	suspectSince []int
+	order        []int // round-robin probe order, reshuffled per cycle
+	cursor       int
+	period       int
+}
+
+// New builds a detector. All members start Alive.
+func New(cfg Config) (*Detector, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("membership: group size %d too small", cfg.N)
+	}
+	if cfg.Self < 0 || cfg.Self >= cfg.N {
+		return nil, fmt.Errorf("membership: self %d outside group", cfg.Self)
+	}
+	if cfg.IndirectProbes <= 0 {
+		cfg.IndirectProbes = 3
+	}
+	if cfg.SuspicionPeriods <= 0 {
+		cfg.SuspicionPeriods = 5
+	}
+	d := &Detector{
+		cfg:          cfg,
+		rng:          rand.New(mt19937.New(cfg.Seed)),
+		status:       make([]Status, cfg.N),
+		suspectSince: make([]int, cfg.N),
+	}
+	for i := range d.status {
+		d.status[i] = Alive
+	}
+	for i := 0; i < cfg.N; i++ {
+		if i != cfg.Self {
+			d.order = append(d.order, i)
+		}
+	}
+	d.shuffle()
+	return d, nil
+}
+
+func (d *Detector) shuffle() {
+	d.rng.Shuffle(len(d.order), func(i, j int) {
+		d.order[i], d.order[j] = d.order[j], d.order[i]
+	})
+	d.cursor = 0
+}
+
+// Status returns the current mark for a member.
+func (d *Detector) Status(member int) Status { return d.status[member] }
+
+// AliveMembers returns the indices currently marked Alive (excluding
+// self).
+func (d *Detector) AliveMembers() []int {
+	var out []int
+	for i, s := range d.status {
+		if i != d.cfg.Self && s == Alive {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NumAlive returns the number of members marked Alive, including self.
+func (d *Detector) NumAlive() int {
+	n := 1
+	for i, s := range d.status {
+		if i != d.cfg.Self && s == Alive {
+			n++
+		}
+	}
+	return n
+}
+
+// Tick runs one SWIM protocol period: probe the next round-robin target
+// directly, fall back to IndirectProbes random helpers, then advance the
+// suspicion clocks. Probes of suspect members that succeed refute the
+// suspicion.
+func (d *Detector) Tick(p Prober) {
+	d.period++
+	target := d.order[d.cursor]
+	d.cursor++
+	if d.cursor >= len(d.order) {
+		d.shuffle()
+	}
+	if d.status[target] != Dead {
+		d.probe(target, p)
+	}
+	// Advance suspicion clocks.
+	for m, s := range d.status {
+		if s == Suspect && d.period-d.suspectSince[m] >= d.cfg.SuspicionPeriods {
+			d.status[m] = Dead
+		}
+	}
+}
+
+func (d *Detector) probe(target int, p Prober) {
+	if p.Probe(d.cfg.Self, target) {
+		d.markAlive(target)
+		return
+	}
+	// Indirect probes through k random alive helpers.
+	helpers := d.AliveMembers()
+	d.rng.Shuffle(len(helpers), func(i, j int) { helpers[i], helpers[j] = helpers[j], helpers[i] })
+	tried := 0
+	for _, h := range helpers {
+		if h == target {
+			continue
+		}
+		if tried >= d.cfg.IndirectProbes {
+			break
+		}
+		tried++
+		// Helper pings the target on our behalf: two hops must succeed.
+		if p.Probe(d.cfg.Self, h) && p.Probe(h, target) {
+			d.markAlive(target)
+			return
+		}
+	}
+	if d.status[target] == Alive {
+		d.status[target] = Suspect
+		d.suspectSince[target] = d.period
+	}
+}
+
+func (d *Detector) markAlive(m int) {
+	if d.status[m] != Alive {
+		d.status[m] = Alive
+	}
+}
+
+// ForceAlive reinstates a member (e.g. on receiving a rejoin
+// announcement).
+func (d *Detector) ForceAlive(m int) { d.status[m] = Alive }
+
+// Period returns the number of completed detector periods.
+func (d *Detector) Period() int { return d.period }

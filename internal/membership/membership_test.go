@@ -1,0 +1,154 @@
+package membership
+
+import (
+	"testing"
+)
+
+// world is a test prober: a set of down processes and a message-loss
+// fraction driven by a counter for determinism.
+type world struct {
+	down map[int]bool
+}
+
+func (w *world) Probe(from, to int) bool {
+	return !w.down[to] && !w.down[from]
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{N: 1, Self: 0}); err == nil {
+		t.Fatal("tiny group accepted")
+	}
+	if _, err := New(Config{N: 10, Self: 10}); err == nil {
+		t.Fatal("out-of-range self accepted")
+	}
+}
+
+func TestAllAliveStaysAlive(t *testing.T) {
+	d, err := New(Config{Self: 0, N: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &world{down: map[int]bool{}}
+	for i := 0; i < 100; i++ {
+		d.Tick(w)
+	}
+	if d.NumAlive() != 20 {
+		t.Fatalf("alive = %d, want 20", d.NumAlive())
+	}
+}
+
+func TestDetectsCrash(t *testing.T) {
+	d, err := New(Config{Self: 0, N: 10, Seed: 2, SuspicionPeriods: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &world{down: map[int]bool{5: true}}
+	// Round-robin guarantees member 5 is probed within N−1 periods; after
+	// the suspicion window it must be Dead.
+	for i := 0; i < 20; i++ {
+		d.Tick(w)
+	}
+	if d.Status(5) != Dead {
+		t.Fatalf("status(5) = %v, want dead", d.Status(5))
+	}
+	for m := 1; m < 10; m++ {
+		if m != 5 && d.Status(m) != Alive {
+			t.Fatalf("false positive: status(%d) = %v", m, d.Status(m))
+		}
+	}
+}
+
+func TestSuspicionRefutation(t *testing.T) {
+	d, err := New(Config{Self: 0, N: 6, Seed: 3, SuspicionPeriods: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &world{down: map[int]bool{2: true}}
+	// Let 2 become suspect.
+	for i := 0; i < 12 && d.Status(2) == Alive; i++ {
+		d.Tick(w)
+	}
+	if d.Status(2) != Suspect {
+		t.Fatalf("status(2) = %v, want suspect", d.Status(2))
+	}
+	// Member 2 recovers before the suspicion window closes.
+	delete(w.down, 2)
+	for i := 0; i < 12 && d.Status(2) != Alive; i++ {
+		d.Tick(w)
+	}
+	if d.Status(2) != Alive {
+		t.Fatalf("recovered member not refuted: %v", d.Status(2))
+	}
+}
+
+func TestIndirectProbesMaskLossyDirectPath(t *testing.T) {
+	// Direct probes from 0 fail, but helpers can reach the target: the
+	// indirect path must keep the target alive.
+	d, err := New(Config{Self: 0, N: 8, Seed: 4, SuspicionPeriods: 2, IndirectProbes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	directFail := ProberFunc(func(from, to int) bool {
+		if from == 0 && to == 3 {
+			return false // only the 0→3 link is broken
+		}
+		return true
+	})
+	for i := 0; i < 50; i++ {
+		d.Tick(directFail)
+	}
+	if d.Status(3) != Alive {
+		t.Fatalf("status(3) = %v; indirect probes should mask the broken link", d.Status(3))
+	}
+}
+
+func TestForceAlive(t *testing.T) {
+	d, err := New(Config{Self: 0, N: 5, Seed: 5, SuspicionPeriods: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &world{down: map[int]bool{1: true}}
+	for i := 0; i < 15; i++ {
+		d.Tick(w)
+	}
+	if d.Status(1) != Dead {
+		t.Fatalf("setup failed: %v", d.Status(1))
+	}
+	d.ForceAlive(1)
+	if d.Status(1) != Alive {
+		t.Fatal("ForceAlive did not reinstate")
+	}
+}
+
+func TestAliveMembersExcludesSelf(t *testing.T) {
+	d, err := New(Config{Self: 2, N: 5, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range d.AliveMembers() {
+		if m == 2 {
+			t.Fatal("AliveMembers includes self")
+		}
+	}
+	if len(d.AliveMembers()) != 4 {
+		t.Fatalf("alive members = %v", d.AliveMembers())
+	}
+}
+
+func TestMassFailureDetection(t *testing.T) {
+	d, err := New(Config{Self: 0, N: 40, Seed: 7, SuspicionPeriods: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &world{down: map[int]bool{}}
+	for m := 20; m < 40; m++ {
+		w.down[m] = true
+	}
+	// Round-robin needs ~N periods to cover everyone, plus suspicion.
+	for i := 0; i < 150; i++ {
+		d.Tick(w)
+	}
+	if got := d.NumAlive(); got != 20 {
+		t.Fatalf("alive = %d after 50%% failure, want 20", got)
+	}
+}

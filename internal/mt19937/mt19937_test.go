@@ -1,0 +1,151 @@
+package mt19937
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestReferenceVector checks the first outputs against the canonical
+// mt19937-64.out published with the reference C implementation, which is
+// produced by init_by_array64({0x12345, 0x23456, 0x34567, 0x45678}).
+func TestReferenceVector(t *testing.T) {
+	m := &MT19937{}
+	m.SeedBySlice([]uint64{0x12345, 0x23456, 0x34567, 0x45678})
+
+	want := []uint64{
+		7266447313870364031,
+		4946485549665804864,
+		16945909448695747420,
+		16394063075524226720,
+		4873882236456199058,
+		14877448043947020171,
+		6740343660852211943,
+		13857871200353263164,
+		5249110015610582907,
+		10205081126064480383,
+	}
+	for i, w := range want {
+		if got := m.Uint64(); got != w {
+			t.Fatalf("output %d: got %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	m := New(7)
+	for i := 0; i < 100000; i++ {
+		f := m.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	m := New(99)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += m.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("mean of %d uniforms = %v, want ~0.5", n, mean)
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	m := New(3)
+	for i := 0; i < 10000; i++ {
+		if v := m.Int63(); v < 0 {
+			t.Fatalf("Int63 returned negative %d", v)
+		}
+	}
+}
+
+// TestRandSourceCompat verifies the generator plugs into math/rand.
+func TestRandSourceCompat(t *testing.T) {
+	r := rand.New(New(42))
+	counts := make([]int, 10)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(10)]++
+	}
+	for d, c := range counts {
+		frac := float64(c) / draws
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Fatalf("digit %d frequency %v, want ~0.1", d, frac)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(5)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams collided %d times", same)
+	}
+}
+
+func TestSplitReproducible(t *testing.T) {
+	a := New(5).Split(7)
+	b := New(5).Split(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("split with same lineage diverged at %d", i)
+		}
+	}
+}
+
+// Property: uint64 outputs should have roughly half their bits set on
+// average (equidistribution sanity, not a strict PRNG test).
+func TestBitBalance(t *testing.T) {
+	f := func(seed int64) bool {
+		m := New(seed)
+		ones := 0
+		const draws = 2000
+		for i := 0; i < draws; i++ {
+			v := m.Uint64()
+			for v != 0 {
+				ones += int(v & 1)
+				v >>= 1
+			}
+		}
+		frac := float64(ones) / float64(draws*64)
+		return math.Abs(frac-0.5) < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,474 @@
+package ode
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Epidemic returns the paper's motivating equation system (0):
+// x' = -xy, y' = xy.
+func epidemicSystem(t *testing.T) *System {
+	t.Helper()
+	s, err := Parse("x' = -x*y\ny' = x*y", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// Endemic returns the paper's equation system (1).
+func endemicSystem(t *testing.T, beta, gamma, alpha float64) *System {
+	t.Helper()
+	src := `
+# endemic equations (1)
+x' = -beta*x*y + alpha*z
+y' = beta*x*y - gamma*y
+z' = gamma*y - alpha*z
+`
+	s, err := Parse(src, map[string]float64{"beta": beta, "gamma": gamma, "alpha": alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// lvSystem returns the paper's rewritten LV equation system (7).
+func lvSystem(t *testing.T) *System {
+	t.Helper()
+	src := `
+x' = 3*x*z - 3*x*y
+y' = 3*y*z - 3*x*y
+z' = -3*x*z - 3*y*z + 3*x*y + 3*x*y
+`
+	s, err := Parse(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTermBasics(t *testing.T) {
+	tm := NewTerm(-2.5, map[Var]int{"x": 1, "y": 2, "w": 0})
+	if !tm.Negative || tm.Coef != 2.5 {
+		t.Fatalf("sign handling broken: %+v", tm)
+	}
+	if tm.Signed() != -2.5 {
+		t.Fatalf("Signed() = %v", tm.Signed())
+	}
+	if tm.Degree() != 3 {
+		t.Fatalf("Degree() = %d, want 3", tm.Degree())
+	}
+	if tm.Exponent("w") != 0 {
+		t.Fatal("zero exponents should be dropped")
+	}
+	if got := tm.MonomialKey(); got != "x*y^2" {
+		t.Fatalf("MonomialKey() = %q", got)
+	}
+}
+
+func TestTermEval(t *testing.T) {
+	tm := NewTerm(3, map[Var]int{"x": 2, "y": 1})
+	got := tm.Eval(map[Var]float64{"x": 2, "y": 5})
+	if got != 60 {
+		t.Fatalf("Eval = %v, want 60", got)
+	}
+	// Missing variable treated as zero.
+	if v := tm.Eval(map[Var]float64{"x": 2}); v != 0 {
+		t.Fatalf("Eval with missing var = %v, want 0", v)
+	}
+}
+
+func TestTermCloneIndependent(t *testing.T) {
+	tm := NewTerm(1, map[Var]int{"x": 1})
+	c := tm.Clone()
+	c.Powers["x"] = 5
+	if tm.Powers["x"] != 1 {
+		t.Fatal("Clone shares Powers map")
+	}
+}
+
+func TestTermStringConstant(t *testing.T) {
+	tm := NewTerm(0.5, nil)
+	if got := tm.String(); got != "+0.5" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := tm.MonomialKey(); got != "1" {
+		t.Fatalf("constant MonomialKey = %q", got)
+	}
+}
+
+func TestOrderedVars(t *testing.T) {
+	tm := NewTerm(1, map[Var]int{"z": 1, "a": 2, "m": 1})
+	got := tm.OrderedVars()
+	want := []Var{"a", "m", "z"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("OrderedVars = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSystemDuplicateEquation(t *testing.T) {
+	s := NewSystem()
+	if err := s.AddEquation("x", NewTerm(1, map[Var]int{"x": 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddEquation("x"); err == nil {
+		t.Fatal("expected duplicate-equation error")
+	}
+}
+
+func TestSystemEvalEpidemic(t *testing.T) {
+	s := epidemicSystem(t)
+	d := s.Eval(map[Var]float64{"x": 0.3, "y": 0.7})
+	if math.Abs(d[0]+0.21) > 1e-12 || math.Abs(d[1]-0.21) > 1e-12 {
+		t.Fatalf("Eval = %v, want [-0.21 0.21]", d)
+	}
+}
+
+func TestVecRoundTrip(t *testing.T) {
+	s := endemicSystem(t, 4, 1, 0.01)
+	x := []float64{0.25, 0.5, 0.25}
+	p := s.PointFromVec(x)
+	back := s.VecFromPoint(p)
+	for i := range x {
+		if back[i] != x[i] {
+			t.Fatalf("round trip broke at %d: %v vs %v", i, back, x)
+		}
+	}
+}
+
+func TestValidateRejectsUndeclared(t *testing.T) {
+	s := NewSystem()
+	s.MustAddEquation("x", NewTerm(1, map[Var]int{"q": 1}))
+	if err := s.Validate(); err == nil {
+		t.Fatal("expected undeclared-variable error")
+	}
+}
+
+func TestValidateRejectsNonPositiveCoef(t *testing.T) {
+	s := NewSystem()
+	s.MustAddEquation("x", Term{Coef: 0, Powers: map[Var]int{"x": 1}})
+	if err := s.Validate(); err == nil {
+		t.Fatal("expected non-positive coefficient error")
+	}
+}
+
+func TestPartialDerivative(t *testing.T) {
+	s := endemicSystem(t, 4, 1, 0.01)
+	// ∂fx/∂y where fx = -4xy + 0.01z: expect -4x.
+	terms := s.PartialDerivative("x", "y")
+	if len(terms) != 1 {
+		t.Fatalf("got %d terms, want 1", len(terms))
+	}
+	got := terms[0].Eval(map[Var]float64{"x": 0.5})
+	if math.Abs(got+2) > 1e-12 {
+		t.Fatalf("∂fx/∂y at x=0.5 = %v, want -2", got)
+	}
+	// ∂fy/∂y where fy = 4xy - y: expect 4x - 1.
+	terms = s.PartialDerivative("y", "y")
+	var sum float64
+	for _, tm := range terms {
+		sum += tm.Eval(map[Var]float64{"x": 0.5, "y": 0.3})
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("∂fy/∂y = %v, want 1", sum)
+	}
+}
+
+func TestPartialDerivativeSquare(t *testing.T) {
+	s := NewSystem()
+	s.MustAddEquation("x", NewTerm(-1, map[Var]int{"y": 2}))
+	s.MustAddEquation("y", NewTerm(1, map[Var]int{"y": 2}))
+	terms := s.PartialDerivative("x", "y")
+	if len(terms) != 1 {
+		t.Fatalf("got %d terms, want 1", len(terms))
+	}
+	got := terms[0].Eval(map[Var]float64{"y": 3})
+	if got != -6 {
+		t.Fatalf("d(-y^2)/dy at 3 = %v, want -6", got)
+	}
+}
+
+func TestJacobianAt(t *testing.T) {
+	s := epidemicSystem(t)
+	j := s.JacobianAt(map[Var]float64{"x": 0.3, "y": 0.7})
+	// f = (-xy, xy); J = [[-y, -x], [y, x]].
+	want := [][]float64{{-0.7, -0.3}, {0.7, 0.3}}
+	for i := range want {
+		for k := range want[i] {
+			if math.Abs(j[i][k]-want[i][k]) > 1e-12 {
+				t.Fatalf("J[%d][%d] = %v, want %v", i, k, j[i][k], want[i][k])
+			}
+		}
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	s := epidemicSystem(t)
+	c := s.Clone()
+	eq, _ := c.Equation("x")
+	eq.Terms[0].Powers["x"] = 99
+	orig, _ := s.Equation("x")
+	if orig.Terms[0].Powers["x"] == 99 {
+		t.Fatal("Clone shares term storage")
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	s := epidemicSystem(t)
+	str := s.String()
+	if !strings.Contains(str, "x' =") || !strings.Contains(str, "y' =") {
+		t.Fatalf("String() = %q", str)
+	}
+}
+
+// --- taxonomy ---
+
+func TestEpidemicTaxonomy(t *testing.T) {
+	s := epidemicSystem(t)
+	c := s.Classify()
+	if !c.Polynomial || !c.Complete || !c.CompletelyPartitionable || !c.RestrictedPolynomial {
+		t.Fatalf("epidemic classification = %v", c)
+	}
+	if !c.Mappable() || c.NeedsTokenizing() {
+		t.Fatalf("epidemic should be mappable without tokenizing: %v", c)
+	}
+}
+
+func TestEndemicTaxonomy(t *testing.T) {
+	s := endemicSystem(t, 4, 1, 0.01)
+	c := s.Classify()
+	if !c.Mappable() || !c.RestrictedPolynomial {
+		t.Fatalf("endemic classification = %v", c)
+	}
+}
+
+func TestLVTaxonomy(t *testing.T) {
+	s := lvSystem(t)
+	c := s.Classify()
+	if !c.Complete {
+		t.Fatalf("LV (7) should be complete: defect %v", s.CompletenessDefect())
+	}
+	if !c.CompletelyPartitionable {
+		t.Fatalf("LV (7) should be completely partitionable")
+	}
+	if !c.RestrictedPolynomial {
+		t.Fatalf("LV (7) should be restricted polynomial")
+	}
+}
+
+func TestLVOriginalNotPartitionable(t *testing.T) {
+	// Equations (6) before rewriting: x' = 3x(1-x-2y) = 3x -3x^2 -6xy, etc.
+	src := `
+x' = 3*x - 3*x^2 - 6*x*y
+y' = 3*y - 3*y^2 - 6*x*y
+`
+	s, err := Parse(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IsComplete() {
+		t.Fatal("LV (6) without z should not be complete")
+	}
+	if s.IsCompletelyPartitionable() {
+		t.Fatal("LV (6) should not be completely partitionable")
+	}
+}
+
+func TestIncompleteSystem(t *testing.T) {
+	s := NewSystem()
+	s.MustAddEquation("x", NewTerm(-1, map[Var]int{"x": 1}))
+	s.MustAddEquation("y", NewTerm(0.5, map[Var]int{"x": 1}))
+	if s.IsComplete() {
+		t.Fatal("system with residual -0.5x should not be complete")
+	}
+	defect := s.CompletenessDefect()
+	if r, ok := defect["x"]; !ok || math.Abs(r+0.5) > 1e-12 {
+		t.Fatalf("defect = %v, want x: -0.5", defect)
+	}
+}
+
+func TestCompleteButNotPartitionable(t *testing.T) {
+	// x' = -2xy, y' = +xy +xy: complete (sums to zero) and the two +xy
+	// halves can pair only if coefficients match; -2xy vs two +1xy cannot
+	// pair into zero-sum pairs.
+	s := NewSystem()
+	s.MustAddEquation("x", NewTerm(-2, map[Var]int{"x": 1, "y": 1}))
+	s.MustAddEquation("y",
+		NewTerm(1, map[Var]int{"x": 1, "y": 1}),
+		NewTerm(1, map[Var]int{"x": 1, "y": 1}))
+	if !s.IsComplete() {
+		t.Fatal("should be complete")
+	}
+	if s.IsCompletelyPartitionable() {
+		t.Fatal("coefficient-mismatched terms must not pair")
+	}
+}
+
+func TestPartitionPairsCoverAllTermsOnce(t *testing.T) {
+	for name, sys := range map[string]*System{
+		"epidemic": epidemicSystem(t),
+		"endemic":  endemicSystem(t, 4, 1, 0.01),
+		"lv":       lvSystem(t),
+	} {
+		pairs, err := sys.Partition()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		seen := make(map[TermRef]int)
+		total := 0
+		for _, v := range sys.Vars() {
+			eq, _ := sys.Equation(v)
+			total += len(eq.Terms)
+		}
+		for _, p := range pairs {
+			seen[p.Neg]++
+			seen[p.Pos]++
+			if !p.Neg.Term(sys).Negative {
+				t.Fatalf("%s: Neg side of pair is positive", name)
+			}
+			if p.Pos.Term(sys).Negative {
+				t.Fatalf("%s: Pos side of pair is negative", name)
+			}
+			if p.Neg.Term(sys).MonomialKey() != p.Pos.Term(sys).MonomialKey() {
+				t.Fatalf("%s: paired terms have different monomials", name)
+			}
+		}
+		if len(seen) != total {
+			t.Fatalf("%s: pairing covered %d distinct terms, want %d", name, len(seen), total)
+		}
+		for ref, n := range seen {
+			if n != 1 {
+				t.Fatalf("%s: term %v used %d times", name, ref, n)
+			}
+		}
+	}
+}
+
+func TestRestrictedViolations(t *testing.T) {
+	// x' = -y^2, y' = +y^2: the -y^2 term in fx has no x — a violation.
+	s := NewSystem()
+	s.MustAddEquation("x", NewTerm(-1, map[Var]int{"y": 2}))
+	s.MustAddEquation("y", NewTerm(1, map[Var]int{"y": 2}))
+	v := s.RestrictedViolations()
+	if len(v) != 1 || v[0].Var != "x" {
+		t.Fatalf("violations = %v", v)
+	}
+	c := s.Classify()
+	if !c.NeedsTokenizing() {
+		t.Fatalf("should need tokenizing: %v", c)
+	}
+}
+
+// --- parser ---
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"missing equals", "x' -x"},
+		{"bad lhs", "x = -x"},
+		{"unknown ident", "x' = -k*x"},
+		{"dangling sign", "x' = -x +"},
+		{"bad exponent", "x' = -x^y"},
+		{"negative exponent", "x' = -x^-1"},
+		{"empty", "   \n# only a comment\n"},
+		{"bad char", "x' = -x & y"},
+		{"duplicate lhs", "x' = -x\nx' = x"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.src, nil); err == nil {
+			t.Errorf("%s: expected error for %q", tc.name, tc.src)
+		}
+	}
+}
+
+func TestParseParameters(t *testing.T) {
+	s, err := Parse("x' = -2*beta*x\ny' = 2*beta*x", map[string]float64{"beta": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, _ := s.Equation("x")
+	if len(eq.Terms) != 1 || eq.Terms[0].Coef != 6 || !eq.Terms[0].Negative {
+		t.Fatalf("terms = %v", eq.Terms)
+	}
+}
+
+func TestParseParameterExponent(t *testing.T) {
+	s, err := Parse("x' = -b^2*x\ny' = b^2*x", map[string]float64{"b": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, _ := s.Equation("x")
+	if eq.Terms[0].Coef != 9 {
+		t.Fatalf("coef = %v, want 9", eq.Terms[0].Coef)
+	}
+}
+
+func TestParseVariableExponent(t *testing.T) {
+	s, err := Parse("x' = -x*y^2\ny' = x*y^2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, _ := s.Equation("x")
+	if eq.Terms[0].Exponent("y") != 2 || eq.Terms[0].Exponent("x") != 1 {
+		t.Fatalf("powers = %v", eq.Terms[0].Powers)
+	}
+}
+
+func TestParseRepeatedVariableMultiplies(t *testing.T) {
+	s, err := Parse("x' = -x*x\ny' = x*x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, _ := s.Equation("x")
+	if eq.Terms[0].Exponent("x") != 2 {
+		t.Fatalf("x*x should give exponent 2, got %v", eq.Terms[0].Powers)
+	}
+}
+
+func TestParseScientificNotation(t *testing.T) {
+	s, err := Parse("x' = -1e-3*x\ny' = 1e-3*x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, _ := s.Equation("x")
+	if eq.Terms[0].Coef != 1e-3 {
+		t.Fatalf("coef = %v", eq.Terms[0].Coef)
+	}
+}
+
+func TestParseCommentsAndBlankLines(t *testing.T) {
+	src := "\n# leading comment\n\nx' = -x*y # trailing comment\n\ny' = x*y\n"
+	s, err := Parse(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars() != 2 {
+		t.Fatalf("NumVars = %d", s.NumVars())
+	}
+}
+
+func TestParseEndemicMatchesHandBuilt(t *testing.T) {
+	parsed := endemicSystem(t, 4, 1.0, 0.01)
+	hand := NewSystem()
+	hand.MustAddEquation("x",
+		NewTerm(-4, map[Var]int{"x": 1, "y": 1}),
+		NewTerm(0.01, map[Var]int{"z": 1}))
+	hand.MustAddEquation("y",
+		NewTerm(4, map[Var]int{"x": 1, "y": 1}),
+		NewTerm(-1, map[Var]int{"y": 1}))
+	hand.MustAddEquation("z",
+		NewTerm(1, map[Var]int{"y": 1}),
+		NewTerm(-0.01, map[Var]int{"z": 1}))
+	point := map[Var]float64{"x": 0.2, "y": 0.5, "z": 0.3}
+	a, b := parsed.Eval(point), hand.Eval(point)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("parsed and hand-built disagree: %v vs %v", a, b)
+		}
+	}
+}

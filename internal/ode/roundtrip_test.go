@@ -1,0 +1,106 @@
+package ode
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestStringParseRoundTrip: rendering a system with String() and parsing
+// it back yields identical dynamics — the DSL is a faithful serialization.
+func TestStringParseRoundTrip(t *testing.T) {
+	vars := []Var{"x", "y", "z"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSystem()
+		for _, v := range vars {
+			nTerms := rng.Intn(4)
+			terms := make([]Term, 0, nTerms)
+			for i := 0; i < nTerms; i++ {
+				coef := float64(rng.Intn(19)+1) / 4
+				if rng.Intn(2) == 0 {
+					coef = -coef
+				}
+				powers := map[Var]int{}
+				for _, w := range vars {
+					powers[w] = rng.Intn(3)
+				}
+				terms = append(terms, NewTerm(coef, powers))
+			}
+			s.MustAddEquation(v, terms...)
+		}
+		reparsed, err := Parse(s.String(), nil)
+		if err != nil {
+			t.Logf("seed %d: reparse failed: %v\n%s", seed, err, s)
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			point := map[Var]float64{}
+			for _, v := range vars {
+				point[v] = rng.Float64()
+			}
+			a, b := s.Eval(point), reparsed.Eval(point)
+			for i := range a {
+				if math.Abs(a[i]-b[i]) > 1e-9*(1+math.Abs(a[i])) {
+					t.Logf("seed %d: eval mismatch %v vs %v at %v", seed, a, b, point)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClassifyInvariantUnderRoundTrip: taxonomy classification survives
+// serialization.
+func TestClassifyInvariantUnderRoundTrip(t *testing.T) {
+	srcs := []string{
+		"x' = -x*y\ny' = x*y",
+		"x' = 3*x*z - 3*x*y\ny' = 3*y*z - 3*x*y\nz' = -3*x*z - 3*y*z + 3*x*y + 3*x*y",
+		"x' = -y^2\ny' = y^2",
+		"x' = -x\ny' = 0.5*x",
+	}
+	for _, src := range srcs {
+		s, err := Parse(src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Parse(s.String(), nil)
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", src, err)
+		}
+		if s.Classify() != r.Classify() {
+			t.Fatalf("classification changed on round trip: %v vs %v", s.Classify(), r.Classify())
+		}
+	}
+}
+
+// TestPartitionStableUnderVariableOrder: pairing does not depend on
+// equation insertion order (the lexicographic canonicalization guarantees
+// determinism).
+func TestPartitionStableUnderVariableOrder(t *testing.T) {
+	forward := NewSystem()
+	forward.MustAddEquation("a", NewTerm(-1, map[Var]int{"a": 1, "b": 1}))
+	forward.MustAddEquation("b", NewTerm(1, map[Var]int{"a": 1, "b": 1}))
+	backward := NewSystem()
+	backward.MustAddEquation("b", NewTerm(1, map[Var]int{"a": 1, "b": 1}))
+	backward.MustAddEquation("a", NewTerm(-1, map[Var]int{"a": 1, "b": 1}))
+	p1, err := forward.Partition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := backward.Partition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != 1 || len(p2) != 1 {
+		t.Fatalf("pairings %v vs %v", p1, p2)
+	}
+	if p1[0].Neg.Var != p2[0].Neg.Var || p1[0].Pos.Var != p2[0].Pos.Var {
+		t.Fatalf("pairing depends on insertion order: %v vs %v", p1, p2)
+	}
+}

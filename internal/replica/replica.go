@@ -1,0 +1,363 @@
+// Package replica implements the static and reactive replica-location
+// baselines that §4.1 of the paper argues against, and a directed-attack
+// adversary model, so the endemic protocol's claimed advantages
+// (availability under churn, untraceability under attack) can be measured
+// rather than asserted.
+//
+// Strategies:
+//
+//   - Static: K replicas placed once on fixed hosts; no repair. This is
+//     the paper's "static and reactive strategies locate replicas
+//     statically" straw man in its purest form.
+//   - Reactive: like Static, but a crashed replica host is detected after
+//     a delay and the replica is re-created on a fresh alive host from a
+//     surviving copy.
+//   - The endemic strategy itself lives in internal/endemic; the attack
+//     harness here drives it through the same adversary.
+//
+// The adversary of §4.1 disadvantage (2): it snapshots the current replica
+// holder set every Staleness periods, spends MountDelay periods mounting
+// the attack, then crashes every host in the (now stale) snapshot.
+package replica
+
+import (
+	"fmt"
+	"math/rand"
+
+	"odeproto/internal/endemic"
+	"odeproto/internal/mt19937"
+	"odeproto/internal/ode"
+	"odeproto/internal/sim"
+)
+
+// Outcome reports one object's fate under a strategy.
+type Outcome struct {
+	// Died reports whether every replica was lost at some point.
+	Died bool
+	// DeathPeriod is the period at which the loss happened (valid when
+	// Died).
+	DeathPeriod int
+	// Repairs counts replica re-creations (reactive only).
+	Repairs int
+}
+
+// ChurnConfig describes the background host fault model shared by the
+// baselines: independent per-period crash and (empty-state) rejoin.
+type ChurnConfig struct {
+	N          int
+	CrashProb  float64 // per alive host per period
+	RejoinProb float64 // per crashed host per period
+	Periods    int
+	Seed       int64
+}
+
+func (c ChurnConfig) validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("replica: N = %d too small", c.N)
+	}
+	if c.CrashProb < 0 || c.CrashProb > 1 || c.RejoinProb < 0 || c.RejoinProb > 1 {
+		return fmt.Errorf("replica: probabilities outside [0,1]")
+	}
+	if c.Periods <= 0 {
+		return fmt.Errorf("replica: periods must be positive")
+	}
+	return nil
+}
+
+// SimulateStatic runs the static strategy: K replicas on hosts 0..K−1,
+// never moved, never repaired. The object dies when the last host holding
+// a copy crashes.
+func SimulateStatic(cfg ChurnConfig, k int) (Outcome, error) {
+	if err := cfg.validate(); err != nil {
+		return Outcome{}, err
+	}
+	if k < 1 || k > cfg.N {
+		return Outcome{}, fmt.Errorf("replica: k = %d outside [1, N]", k)
+	}
+	rng := rand.New(mt19937.New(cfg.Seed))
+	up := make([]bool, cfg.N)
+	hasCopy := make([]bool, cfg.N)
+	for i := range up {
+		up[i] = true
+	}
+	for i := 0; i < k; i++ {
+		hasCopy[i] = true
+	}
+	for t := 0; t < cfg.Periods; t++ {
+		for h := range up {
+			if up[h] {
+				if rng.Float64() < cfg.CrashProb {
+					up[h] = false
+					hasCopy[h] = false // crash loses the stored copy
+				}
+			} else if rng.Float64() < cfg.RejoinProb {
+				up[h] = true // rejoins empty
+			}
+		}
+		alive := 0
+		for h := range hasCopy {
+			if hasCopy[h] && up[h] {
+				alive++
+			}
+		}
+		if alive == 0 {
+			return Outcome{Died: true, DeathPeriod: t}, nil
+		}
+	}
+	return Outcome{}, nil
+}
+
+// SimulateReactive runs the reactive strategy: crashes of replica hosts
+// are detected after detectionDelay periods, and each lost replica is then
+// re-created on a uniformly random alive host, provided at least one copy
+// survived.
+func SimulateReactive(cfg ChurnConfig, k, detectionDelay int) (Outcome, error) {
+	if err := cfg.validate(); err != nil {
+		return Outcome{}, err
+	}
+	if k < 1 || k > cfg.N {
+		return Outcome{}, fmt.Errorf("replica: k = %d outside [1, N]", k)
+	}
+	if detectionDelay < 0 {
+		return Outcome{}, fmt.Errorf("replica: negative detection delay")
+	}
+	rng := rand.New(mt19937.New(cfg.Seed))
+	up := make([]bool, cfg.N)
+	hasCopy := make([]bool, cfg.N)
+	for i := range up {
+		up[i] = true
+	}
+	for i := 0; i < k; i++ {
+		hasCopy[i] = true
+	}
+	type repair struct{ due int }
+	var pendingRepairs []repair
+	out := Outcome{}
+	for t := 0; t < cfg.Periods; t++ {
+		for h := range up {
+			if up[h] {
+				if rng.Float64() < cfg.CrashProb {
+					up[h] = false
+					if hasCopy[h] {
+						hasCopy[h] = false
+						pendingRepairs = append(pendingRepairs, repair{due: t + detectionDelay})
+					}
+				}
+			} else if rng.Float64() < cfg.RejoinProb {
+				up[h] = true
+			}
+		}
+		survivors := 0
+		for h := range hasCopy {
+			if hasCopy[h] && up[h] {
+				survivors++
+			}
+		}
+		if survivors == 0 {
+			out.Died = true
+			out.DeathPeriod = t
+			return out, nil
+		}
+		// Execute due repairs.
+		rest := pendingRepairs[:0]
+		for _, r := range pendingRepairs {
+			if r.due > t {
+				rest = append(rest, r)
+				continue
+			}
+			// Copy from a survivor to a fresh alive host.
+			var candidates []int
+			for h := range up {
+				if up[h] && !hasCopy[h] {
+					candidates = append(candidates, h)
+				}
+			}
+			if len(candidates) > 0 {
+				hasCopy[candidates[rng.Intn(len(candidates))]] = true
+				out.Repairs++
+			}
+		}
+		pendingRepairs = rest
+	}
+	return out, nil
+}
+
+// SimulateHandoff runs the naive migratory scheme of §4.1.1 ("A Simple
+// Solution, and its Drawback"): each of k replica holders hands its copy
+// to a random alive host after holdPeriods periods and deletes it
+// immediately. A crash of the holder before the hand-off destroys that
+// copy, so the replica count only ever decreases — over time it reaches
+// zero. Returns the period at which the last copy vanished (Died is
+// always true given enough periods).
+func SimulateHandoff(cfg ChurnConfig, k, holdPeriods int) (Outcome, error) {
+	if err := cfg.validate(); err != nil {
+		return Outcome{}, err
+	}
+	if k < 1 || k > cfg.N {
+		return Outcome{}, fmt.Errorf("replica: k = %d outside [1, N]", k)
+	}
+	if holdPeriods < 1 {
+		return Outcome{}, fmt.Errorf("replica: holdPeriods must be positive")
+	}
+	rng := rand.New(mt19937.New(cfg.Seed))
+	up := make([]bool, cfg.N)
+	for i := range up {
+		up[i] = true
+	}
+	type copyState struct {
+		host    int
+		holdFor int
+	}
+	copies := make([]copyState, 0, k)
+	for i := 0; i < k; i++ {
+		copies = append(copies, copyState{host: i, holdFor: holdPeriods})
+	}
+	for t := 0; t < cfg.Periods; t++ {
+		for h := range up {
+			if up[h] {
+				if rng.Float64() < cfg.CrashProb {
+					up[h] = false
+				}
+			} else if rng.Float64() < cfg.RejoinProb {
+				up[h] = true
+			}
+		}
+		// Crashes destroy held copies.
+		kept := copies[:0]
+		for _, c := range copies {
+			if up[c.host] {
+				kept = append(kept, c)
+			}
+		}
+		copies = kept
+		if len(copies) == 0 {
+			return Outcome{Died: true, DeathPeriod: t}, nil
+		}
+		// Hand-offs: transfer to a random alive host and delete locally.
+		for i := range copies {
+			copies[i].holdFor--
+			if copies[i].holdFor > 0 {
+				continue
+			}
+			// A hand-off to a crashed host fails and the holder retries
+			// next period; the fatal case is the holder itself crashing,
+			// handled above.
+			target := rng.Intn(cfg.N)
+			if up[target] {
+				copies[i].host = target
+			}
+			copies[i].holdFor = holdPeriods
+		}
+	}
+	return Outcome{}, nil
+}
+
+// AttackConfig describes the directed-attack adversary.
+type AttackConfig struct {
+	// Staleness is how many periods pass between the adversary's replica-
+	// location snapshots.
+	Staleness int
+	// MountDelay is how many periods after a snapshot the strike lands.
+	// The strike crashes every host in the snapshot.
+	MountDelay int
+	// Strikes is the number of attacks attempted.
+	Strikes int
+}
+
+func (a AttackConfig) validate() error {
+	if a.Staleness < 1 || a.MountDelay < 0 || a.Strikes < 1 {
+		return fmt.Errorf("replica: invalid attack config %+v", a)
+	}
+	return nil
+}
+
+// AttackStatic reports whether a static placement survives the adversary:
+// it cannot — the snapshot never goes stale, so the first strike destroys
+// all copies. Kept as an executable statement of §4.1 disadvantage (2).
+func AttackStatic(k int, atk AttackConfig) (Outcome, error) {
+	if err := atk.validate(); err != nil {
+		return Outcome{}, err
+	}
+	if k < 1 {
+		return Outcome{}, fmt.Errorf("replica: k = %d", k)
+	}
+	return Outcome{Died: true, DeathPeriod: atk.Staleness + atk.MountDelay}, nil
+}
+
+// AttackEndemic runs the adversary against the endemic protocol: every
+// Staleness periods the adversary snapshots the stasher set; MountDelay
+// periods later it crashes those hosts. The object survives a strike iff
+// replicas migrated to at least one host outside the stale snapshot.
+func AttackEndemic(n int, p endemic.Params, atk AttackConfig, seed int64) (Outcome, error) {
+	if err := atk.validate(); err != nil {
+		return Outcome{}, err
+	}
+	proto, err := endemic.NewFigure1Protocol(p)
+	if err != nil {
+		return Outcome{}, err
+	}
+	eq := endemic.StableEquilibrium(p.Beta(), p.Gamma, p.Alpha)
+	initY := int(eq.Stash*float64(n)) + 1
+	initX := int(eq.Receptive*float64(n)) + 1
+	e, err := sim.New(sim.Config{
+		N:        n,
+		Protocol: proto,
+		Initial: map[ode.Var]int{
+			endemic.Receptive: initX,
+			endemic.Stash:     initY,
+			endemic.Averse:    n - initX - initY,
+		},
+		Seed: seed,
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	// Warm up to steady state.
+	e.Run(200)
+	var snapshot []int
+	period := 0
+	for strike := 0; strike < atk.Strikes; strike++ {
+		// Snapshot.
+		snapshot = append(snapshot[:0], e.ProcessesIn(endemic.Stash)...)
+		// Mount delay: replicas keep migrating.
+		for d := 0; d < atk.MountDelay; d++ {
+			e.Step()
+			period++
+		}
+		// Strike: crash every snapshotted host.
+		for _, h := range snapshot {
+			e.Kill(h)
+		}
+		if e.Count(endemic.Stash) == 0 {
+			return Outcome{Died: true, DeathPeriod: period}, nil
+		}
+		// Remaining inter-snapshot time.
+		for d := atk.MountDelay; d < atk.Staleness; d++ {
+			e.Step()
+			period++
+			if e.Count(endemic.Stash) == 0 {
+				return Outcome{Died: true, DeathPeriod: period}, nil
+			}
+		}
+	}
+	return Outcome{}, nil
+}
+
+// SurvivalProbability estimates, over `trials` independent runs, the
+// probability that the endemic object survives the attack campaign.
+func SurvivalProbability(n int, p endemic.Params, atk AttackConfig, trials int, seed int64) (float64, error) {
+	if trials < 1 {
+		return 0, fmt.Errorf("replica: trials must be positive")
+	}
+	survived := 0
+	for i := 0; i < trials; i++ {
+		out, err := AttackEndemic(n, p, atk, seed+int64(i)*6151)
+		if err != nil {
+			return 0, err
+		}
+		if !out.Died {
+			survived++
+		}
+	}
+	return float64(survived) / float64(trials), nil
+}

@@ -1,0 +1,164 @@
+package replica
+
+import (
+	"testing"
+
+	"odeproto/internal/endemic"
+)
+
+func TestValidation(t *testing.T) {
+	good := ChurnConfig{N: 100, CrashProb: 0.01, RejoinProb: 0.05, Periods: 10, Seed: 1}
+	if _, err := SimulateStatic(good, 3); err != nil {
+		t.Fatal(err)
+	}
+	bad := []ChurnConfig{
+		{N: 1, CrashProb: 0.01, RejoinProb: 0.05, Periods: 10},
+		{N: 100, CrashProb: -1, RejoinProb: 0.05, Periods: 10},
+		{N: 100, CrashProb: 0.01, RejoinProb: 0.05, Periods: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := SimulateStatic(cfg, 3); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	if _, err := SimulateStatic(good, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := SimulateReactive(good, 3, -1); err == nil {
+		t.Error("negative delay accepted")
+	}
+}
+
+// TestStaticDiesUnderChurn: with aggressive churn and no repair, the
+// object is certain to die — §4.1 disadvantage (1).
+func TestStaticDiesUnderChurn(t *testing.T) {
+	cfg := ChurnConfig{N: 200, CrashProb: 0.02, RejoinProb: 0.1, Periods: 5000, Seed: 2}
+	out, err := SimulateStatic(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Died {
+		t.Fatal("static placement survived 5000 periods of 2% churn; implausible")
+	}
+}
+
+// TestReactiveOutlivesStatic: prompt repair extends the object lifetime.
+func TestReactiveOutlivesStatic(t *testing.T) {
+	staticDeaths, reactiveDeaths := 0, 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		cfg := ChurnConfig{N: 200, CrashProb: 0.02, RejoinProb: 0.1, Periods: 2000, Seed: int64(100 + i)}
+		s, err := SimulateStatic(cfg, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := SimulateReactive(cfg, 5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Died {
+			staticDeaths++
+		}
+		if r.Died {
+			reactiveDeaths++
+		}
+		if !r.Died && r.Repairs == 0 {
+			t.Fatal("reactive survived without any repairs under 2% churn; repairs not happening")
+		}
+	}
+	if reactiveDeaths >= staticDeaths {
+		t.Fatalf("reactive deaths %d >= static deaths %d", reactiveDeaths, staticDeaths)
+	}
+}
+
+// TestReactiveSlowDetectionDies: when detection is slower than churn, the
+// reactive strategy degrades toward static.
+func TestReactiveSlowDetectionDies(t *testing.T) {
+	died := 0
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		cfg := ChurnConfig{N: 200, CrashProb: 0.05, RejoinProb: 0.1, Periods: 3000, Seed: int64(300 + i)}
+		out, err := SimulateReactive(cfg, 3, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Died {
+			died++
+		}
+	}
+	if died < trials/2 {
+		t.Fatalf("only %d/%d slow-detection runs died; expected most", died, trials)
+	}
+}
+
+func TestAttackStaticAlwaysDies(t *testing.T) {
+	out, err := AttackStatic(10, AttackConfig{Staleness: 50, MountDelay: 10, Strikes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Died {
+		t.Fatal("static placement must die on the first directed strike")
+	}
+}
+
+// TestAttackEndemicSurvivesWithStaleInfo: with a mount delay long enough
+// for replicas to migrate (several 1/γ stints), the endemic object
+// survives repeated strikes.
+func TestAttackEndemicSurvivesWithStaleInfo(t *testing.T) {
+	p := endemic.Params{B: 2, Gamma: 0.2, Alpha: 0.1}
+	atk := AttackConfig{Staleness: 60, MountDelay: 40, Strikes: 3}
+	prob, err := SurvivalProbability(2000, p, atk, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob < 0.8 {
+		t.Fatalf("endemic survival probability %v with stale attacker info; want ≥ 0.8", prob)
+	}
+}
+
+// TestAttackEndemicDiesWithFreshInfo: an instantaneous strike (no
+// migration window) destroys all current replicas.
+func TestAttackEndemicDiesWithFreshInfo(t *testing.T) {
+	p := endemic.Params{B: 2, Gamma: 0.2, Alpha: 0.1}
+	out, err := AttackEndemic(2000, p, AttackConfig{Staleness: 10, MountDelay: 0, Strikes: 1}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Died {
+		t.Fatal("zero-delay strike should destroy all replicas (Theorem 2)")
+	}
+}
+
+func TestAttackValidation(t *testing.T) {
+	if _, err := AttackStatic(3, AttackConfig{}); err == nil {
+		t.Fatal("empty attack config accepted")
+	}
+	if _, err := SurvivalProbability(100, endemic.Params{B: 2, Gamma: 0.2, Alpha: 0.1}, AttackConfig{Staleness: 1, Strikes: 1}, 0, 1); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+// TestHandoffAlwaysDies reproduces the §4.1.1 drawback: the naive
+// hand-off-and-delete scheme monotonically loses replicas and eventually
+// loses the object, while the endemic protocol under the same fault rate
+// replenishes them.
+func TestHandoffAlwaysDies(t *testing.T) {
+	cfg := ChurnConfig{N: 500, CrashProb: 0.01, RejoinProb: 0.05, Periods: 100000, Seed: 21}
+	out, err := SimulateHandoff(cfg, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Died {
+		t.Fatal("naive hand-off survived 100k periods of 1% churn; the §4.1.1 argument says it must die")
+	}
+}
+
+func TestHandoffValidation(t *testing.T) {
+	cfg := ChurnConfig{N: 100, CrashProb: 0.01, RejoinProb: 0.05, Periods: 10, Seed: 1}
+	if _, err := SimulateHandoff(cfg, 0, 5); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := SimulateHandoff(cfg, 3, 0); err == nil {
+		t.Fatal("holdPeriods=0 accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Binomial draws from Binomial(n, p). Small n uses exact Bernoulli
+// sampling; large n with small mean uses a Poisson approximation; large n
+// with a well-populated distribution uses a clamped normal approximation.
+// The approximations are standard for population simulation (tau-leaping)
+// and keep the aggregate engine O(#states) per period independent of N.
+func Binomial(rng *rand.Rand, n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if p > 0.5 {
+		return n - Binomial(rng, n, 1-p)
+	}
+	if n <= 1024 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	mean := float64(n) * p
+	variance := mean * (1 - p)
+	if variance >= 30 {
+		k := int(math.Round(rng.NormFloat64()*math.Sqrt(variance) + mean))
+		if k < 0 {
+			return 0
+		}
+		if k > n {
+			return n
+		}
+		return k
+	}
+	// Small mean: Poisson approximation, clamped to n.
+	k := Poisson(rng, mean)
+	if k > n {
+		return n
+	}
+	return k
+}
+
+// Poisson draws from Poisson(mean) using Knuth's product method for small
+// means and a normal approximation for large means.
+func Poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		k := int(math.Round(rng.NormFloat64()*math.Sqrt(mean) + mean))
+		if k < 0 {
+			return 0
+		}
+		return k
+	}
+	limit := math.Exp(-mean)
+	k := 0
+	prod := rng.Float64()
+	for prod > limit {
+		k++
+		prod *= rng.Float64()
+	}
+	return k
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"odeproto/internal/ode"
+)
+
+func TestViewSizeValidation(t *testing.T) {
+	proto := epidemicProto(t)
+	if _, err := New(Config{
+		N: 10, Protocol: proto,
+		Initial:  map[ode.Var]int{"x": 9, "y": 1},
+		ViewSize: 10,
+	}); err == nil {
+		t.Fatal("view size == N accepted")
+	}
+}
+
+func TestViewsExcludeSelfAndAreDistinct(t *testing.T) {
+	const n, k = 200, 8
+	e, err := New(Config{
+		N: n, Protocol: epidemicProto(t),
+		Initial:  map[ode.Var]int{"x": n - 1, "y": 1},
+		ViewSize: k,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < n; p++ {
+		seen := map[int32]bool{}
+		for i := 0; i < k; i++ {
+			v := e.views[p*k+i]
+			if int(v) == p {
+				t.Fatalf("process %d has itself in its view", p)
+			}
+			if seen[v] {
+				t.Fatalf("process %d has duplicate view entry %d", p, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// TestEpidemicCompletesWithLogarithmicViews: the paper's footnote 1 — a
+// view of size O(log N) suffices for the epidemic to reach everyone.
+func TestEpidemicCompletesWithLogarithmicViews(t *testing.T) {
+	const n = 4000
+	k := int(2*math.Log2(n)) + 1 // ≈ 25
+	e, err := New(Config{
+		N: n, Protocol: epidemicProto(t),
+		Initial:  map[ode.Var]int{"x": n - 1, "y": 1},
+		ViewSize: k,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := 0
+	for e.Count("x") > 0 && rounds < 300 {
+		e.Step()
+		rounds++
+	}
+	if e.Count("x") != 0 {
+		t.Fatalf("epidemic stalled with view size %d: %d susceptibles left", k, e.Count("x"))
+	}
+	if rounds > 80 {
+		t.Fatalf("epidemic with log views took %d rounds; expected O(log N)", rounds)
+	}
+}
+
+// TestEndemicEquilibriumWithPartialViews: the endemic equilibrium is
+// preserved under O(log N) views (uniform random views keep contact
+// sampling unbiased in expectation).
+func TestEndemicEquilibriumWithPartialViews(t *testing.T) {
+	const n = 10000
+	beta, gamma, alpha := 4.0, 0.1, 0.01
+	proto := endemicProto(t, beta, gamma, alpha)
+	yInf := (1 - gamma/beta) / (1 + gamma/alpha)
+	e, err := New(Config{
+		N: n, Protocol: proto,
+		Initial:  map[ode.Var]int{"x": n - n/10, "y": n / 10, "z": 0},
+		ViewSize: 27, // ~2·log2(10000)
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(3000)
+	var sum float64
+	const samples = 1000
+	for i := 0; i < samples; i++ {
+		e.Step()
+		sum += float64(e.Count("y"))
+	}
+	avg := sum / samples
+	want := yInf * n
+	if math.Abs(avg-want) > 0.2*want {
+		t.Fatalf("stash average %v with partial views, analysis %v", avg, want)
+	}
+}
+
+// TestTinyViewsBreakConnectivity: with a view of size 1 the random graph
+// is far below the connectivity threshold, so some susceptibles are never
+// reachable — the footnote's log N bound is tight in kind.
+func TestTinyViewsBreakConnectivity(t *testing.T) {
+	const n = 2000
+	e, err := New(Config{
+		N: n, Protocol: epidemicProto(t),
+		Initial:  map[ode.Var]int{"x": n - 1, "y": 1},
+		ViewSize: 1,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(500)
+	if e.Count("x") == 0 {
+		t.Fatal("size-1 views unexpectedly infected everyone; connectivity reasoning broken")
+	}
+}

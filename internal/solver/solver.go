@@ -1,0 +1,231 @@
+// Package solver provides numerical integration of ordinary differential
+// equation systems: fixed-step Euler and classical Runge–Kutta (RK4), and
+// the adaptive Runge–Kutta–Fehlberg 4(5) method.
+//
+// The repository uses these integrators to produce the "analysis" curves
+// that the paper overlays against protocol simulations (e.g. Figure 7), and
+// to draw phase portraits of the source equations next to the portraits
+// measured from the protocol runs (Figures 2 and 4).
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"odeproto/internal/ode"
+)
+
+// Func is an autonomous vector field ẋ = f(x). Implementations must not
+// retain or modify x.
+type Func func(x []float64) []float64
+
+// FromSystem adapts a polynomial equation system to a Func.
+func FromSystem(s *ode.System) Func {
+	return func(x []float64) []float64 {
+		return s.EvalVec(x)
+	}
+}
+
+// Trajectory is a dense solution: Points[i] is the state at Times[i].
+type Trajectory struct {
+	Times  []float64
+	Points [][]float64
+}
+
+// Len returns the number of stored samples.
+func (tr Trajectory) Len() int { return len(tr.Times) }
+
+// Final returns the last state of the trajectory.
+func (tr Trajectory) Final() []float64 {
+	if len(tr.Points) == 0 {
+		return nil
+	}
+	return tr.Points[len(tr.Points)-1]
+}
+
+// At returns the state at time t by linear interpolation between stored
+// samples. Times outside the trajectory clamp to the endpoints.
+func (tr Trajectory) At(t float64) []float64 {
+	n := len(tr.Times)
+	if n == 0 {
+		return nil
+	}
+	if t <= tr.Times[0] {
+		return append([]float64(nil), tr.Points[0]...)
+	}
+	if t >= tr.Times[n-1] {
+		return append([]float64(nil), tr.Points[n-1]...)
+	}
+	// Binary search for the bracketing interval.
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if tr.Times[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t0, t1 := tr.Times[lo], tr.Times[hi]
+	w := (t - t0) / (t1 - t0)
+	out := make([]float64, len(tr.Points[lo]))
+	for i := range out {
+		out[i] = (1-w)*tr.Points[lo][i] + w*tr.Points[hi][i]
+	}
+	return out
+}
+
+// Component extracts the time series of one state component.
+func (tr Trajectory) Component(i int) []float64 {
+	out := make([]float64, len(tr.Points))
+	for k, p := range tr.Points {
+		out[k] = p[i]
+	}
+	return out
+}
+
+func validateSpan(t0, t1, h float64) error {
+	if !(t1 > t0) {
+		return fmt.Errorf("solver: empty time span [%v, %v]", t0, t1)
+	}
+	if !(h > 0) {
+		return fmt.Errorf("solver: step size %v must be positive", h)
+	}
+	return nil
+}
+
+// Euler integrates ẋ = f(x) from x0 over [t0, t1] with fixed step h.
+func Euler(f Func, x0 []float64, t0, t1, h float64) (Trajectory, error) {
+	if err := validateSpan(t0, t1, h); err != nil {
+		return Trajectory{}, err
+	}
+	x := append([]float64(nil), x0...)
+	tr := Trajectory{Times: []float64{t0}, Points: [][]float64{append([]float64(nil), x...)}}
+	for t := t0; t < t1; {
+		step := math.Min(h, t1-t)
+		d := f(x)
+		for i := range x {
+			x[i] += step * d[i]
+		}
+		t += step
+		tr.Times = append(tr.Times, t)
+		tr.Points = append(tr.Points, append([]float64(nil), x...))
+	}
+	return tr, nil
+}
+
+// RK4 integrates ẋ = f(x) from x0 over [t0, t1] with the classical
+// fourth-order Runge–Kutta method and fixed step h.
+func RK4(f Func, x0 []float64, t0, t1, h float64) (Trajectory, error) {
+	if err := validateSpan(t0, t1, h); err != nil {
+		return Trajectory{}, err
+	}
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	tr := Trajectory{Times: []float64{t0}, Points: [][]float64{append([]float64(nil), x...)}}
+	tmp := make([]float64, n)
+	for t := t0; t < t1; {
+		step := math.Min(h, t1-t)
+		k1 := f(x)
+		for i := range tmp {
+			tmp[i] = x[i] + step/2*k1[i]
+		}
+		k2 := f(tmp)
+		for i := range tmp {
+			tmp[i] = x[i] + step/2*k2[i]
+		}
+		k3 := f(tmp)
+		for i := range tmp {
+			tmp[i] = x[i] + step*k3[i]
+		}
+		k4 := f(tmp)
+		for i := range x {
+			x[i] += step / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+		}
+		t += step
+		tr.Times = append(tr.Times, t)
+		tr.Points = append(tr.Points, append([]float64(nil), x...))
+	}
+	return tr, nil
+}
+
+// ErrStepUnderflow indicates RKF45 could not meet the tolerance without
+// shrinking the step below its minimum.
+var ErrStepUnderflow = errors.New("solver: adaptive step underflow")
+
+// RKF45 integrates ẋ = f(x) adaptively with the Runge–Kutta–Fehlberg 4(5)
+// pair, keeping the estimated local error per step below tol.
+func RKF45(f Func, x0 []float64, t0, t1, tol float64) (Trajectory, error) {
+	if !(t1 > t0) {
+		return Trajectory{}, fmt.Errorf("solver: empty time span [%v, %v]", t0, t1)
+	}
+	if !(tol > 0) {
+		return Trajectory{}, fmt.Errorf("solver: tolerance %v must be positive", tol)
+	}
+	const (
+		safety = 0.9
+		minH   = 1e-12
+	)
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	tr := Trajectory{Times: []float64{t0}, Points: [][]float64{append([]float64(nil), x...)}}
+	h := (t1 - t0) / 100
+	t := t0
+	tmp := make([]float64, n)
+	stage := func(coef [][2]float64, ks [][]float64) []float64 {
+		for i := range tmp {
+			tmp[i] = x[i]
+			for _, c := range coef {
+				tmp[i] += h * c[0] * ks[int(c[1])][i]
+			}
+		}
+		return f(tmp)
+	}
+	for t < t1 {
+		if h > t1-t {
+			h = t1 - t
+		}
+		if h < minH {
+			return tr, ErrStepUnderflow
+		}
+		k1 := f(x)
+		ks := [][]float64{k1}
+		k2 := stage([][2]float64{{1.0 / 4, 0}}, ks)
+		ks = append(ks, k2)
+		k3 := stage([][2]float64{{3.0 / 32, 0}, {9.0 / 32, 1}}, ks)
+		ks = append(ks, k3)
+		k4 := stage([][2]float64{{1932.0 / 2197, 0}, {-7200.0 / 2197, 1}, {7296.0 / 2197, 2}}, ks)
+		ks = append(ks, k4)
+		k5 := stage([][2]float64{{439.0 / 216, 0}, {-8, 1}, {3680.0 / 513, 2}, {-845.0 / 4104, 3}}, ks)
+		ks = append(ks, k5)
+		k6 := stage([][2]float64{{-8.0 / 27, 0}, {2, 1}, {-3544.0 / 2565, 2}, {1859.0 / 4104, 3}, {-11.0 / 40, 4}}, ks)
+
+		var errNorm float64
+		next := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x4 := x[i] + h*(25.0/216*k1[i]+1408.0/2565*k3[i]+2197.0/4104*k4[i]-1.0/5*k5[i])
+			x5 := x[i] + h*(16.0/135*k1[i]+6656.0/12825*k3[i]+28561.0/56430*k4[i]-9.0/50*k5[i]+2.0/55*k6[i])
+			next[i] = x5
+			if e := math.Abs(x5 - x4); e > errNorm {
+				errNorm = e
+			}
+		}
+		if errNorm <= tol || h <= minH*2 {
+			t += h
+			x = next
+			tr.Times = append(tr.Times, t)
+			tr.Points = append(tr.Points, append([]float64(nil), x...))
+		}
+		// Step-size update (guard against zero error).
+		if errNorm == 0 {
+			h *= 2
+		} else {
+			h *= safety * math.Pow(tol/errNorm, 0.2)
+			if h < minH {
+				h = minH
+			}
+		}
+	}
+	return tr, nil
+}

@@ -1,0 +1,195 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"odeproto/internal/ode"
+)
+
+// decay is ẋ = −x with solution e^{−t}.
+func decay(x []float64) []float64 { return []float64{-x[0]} }
+
+// oscillator is ẋ = y, ẏ = −x (unit circle, conserved energy).
+func oscillator(x []float64) []float64 { return []float64{x[1], -x[0]} }
+
+func TestEulerDecay(t *testing.T) {
+	tr, err := Euler(decay, []float64{1}, 0, 1, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr.Final()[0]
+	if math.Abs(got-math.Exp(-1)) > 1e-3 {
+		t.Fatalf("Euler e^-1 = %v, want %v", got, math.Exp(-1))
+	}
+}
+
+func TestRK4Decay(t *testing.T) {
+	tr, err := RK4(decay, []float64{1}, 0, 1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr.Final()[0]
+	if math.Abs(got-math.Exp(-1)) > 1e-9 {
+		t.Fatalf("RK4 e^-1 = %v, want %v", got, math.Exp(-1))
+	}
+}
+
+func TestRK4FourthOrderConvergence(t *testing.T) {
+	errAt := func(h float64) float64 {
+		tr, err := RK4(decay, []float64{1}, 0, 1, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(tr.Final()[0] - math.Exp(-1))
+	}
+	e1, e2 := errAt(0.1), errAt(0.05)
+	ratio := e1 / e2
+	// Fourth order: halving h should cut error by ~16.
+	if ratio < 10 || ratio > 25 {
+		t.Fatalf("error ratio %v, want ~16 (4th order)", ratio)
+	}
+}
+
+func TestRK4OscillatorEnergy(t *testing.T) {
+	tr, err := RK4(oscillator, []float64{1, 0}, 0, 10, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := tr.Final()
+	energy := f[0]*f[0] + f[1]*f[1]
+	if math.Abs(energy-1) > 1e-6 {
+		t.Fatalf("energy drifted to %v", energy)
+	}
+	// x(10) should be cos(10).
+	if math.Abs(f[0]-math.Cos(10)) > 1e-6 {
+		t.Fatalf("x(10) = %v, want %v", f[0], math.Cos(10))
+	}
+}
+
+func TestRKF45MatchesRK4(t *testing.T) {
+	tr, err := RKF45(oscillator, []float64{1, 0}, 0, 10, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := tr.Final()
+	if math.Abs(f[0]-math.Cos(10)) > 1e-5 || math.Abs(f[1]+math.Sin(10)) > 1e-5 {
+		t.Fatalf("RKF45 final = %v, want [cos10, -sin10]", f)
+	}
+}
+
+func TestRKF45TakesFewerStepsThanFixed(t *testing.T) {
+	tr, err := RKF45(decay, []float64{1}, 0, 5, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() > 2000 {
+		t.Fatalf("adaptive integrator stored %d points; expected coarse stepping", tr.Len())
+	}
+}
+
+func TestFromSystem(t *testing.T) {
+	s, err := ode.Parse("x' = -x*y\ny' = x*y", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := FromSystem(s)
+	d := f([]float64{0.5, 0.5})
+	if math.Abs(d[0]+0.25) > 1e-12 || math.Abs(d[1]-0.25) > 1e-12 {
+		t.Fatalf("FromSystem eval = %v", d)
+	}
+}
+
+// TestEpidemicLogisticSolution integrates the epidemic equations and
+// compares with the closed-form logistic solution
+// y(t) = y0 / (y0 + (1−y0)·e^{−t}).
+func TestEpidemicLogisticSolution(t *testing.T) {
+	s, err := ode.Parse("x' = -x*y\ny' = x*y", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y0 := 0.01
+	tr, err := RK4(FromSystem(s), []float64{1 - y0, y0}, 0, 10, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range []float64{1, 5, 10} {
+		got := tr.At(tm)[1]
+		want := y0 / (y0 + (1-y0)*math.Exp(-tm))
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("y(%v) = %v, want logistic %v", tm, got, want)
+		}
+	}
+}
+
+func TestTrajectoryAtInterpolation(t *testing.T) {
+	tr := Trajectory{
+		Times:  []float64{0, 1, 2},
+		Points: [][]float64{{0}, {10}, {20}},
+	}
+	if got := tr.At(0.5)[0]; got != 5 {
+		t.Fatalf("At(0.5) = %v, want 5", got)
+	}
+	if got := tr.At(-1)[0]; got != 0 {
+		t.Fatalf("At(-1) = %v, want clamp to 0", got)
+	}
+	if got := tr.At(99)[0]; got != 20 {
+		t.Fatalf("At(99) = %v, want clamp to 20", got)
+	}
+}
+
+func TestTrajectoryComponent(t *testing.T) {
+	tr := Trajectory{
+		Times:  []float64{0, 1},
+		Points: [][]float64{{1, 2}, {3, 4}},
+	}
+	c := tr.Component(1)
+	if c[0] != 2 || c[1] != 4 {
+		t.Fatalf("Component = %v", c)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Euler(decay, []float64{1}, 1, 0, 0.1); err == nil {
+		t.Fatal("expected span error")
+	}
+	if _, err := RK4(decay, []float64{1}, 0, 1, -0.1); err == nil {
+		t.Fatal("expected step error")
+	}
+	if _, err := RKF45(decay, []float64{1}, 0, 1, 0); err == nil {
+		t.Fatal("expected tolerance error")
+	}
+}
+
+func TestTrajectoryFinalEmpty(t *testing.T) {
+	var tr Trajectory
+	if tr.Final() != nil {
+		t.Fatal("empty trajectory should have nil final state")
+	}
+	if tr.At(1) != nil {
+		t.Fatal("empty trajectory At should be nil")
+	}
+}
+
+// TestConservationOnCompleteSystem: integrating a complete system keeps
+// Σx constant.
+func TestConservationOnCompleteSystem(t *testing.T) {
+	s, err := ode.Parse(`
+x' = -4*x*y + 0.01*z
+y' = 4*x*y - y
+z' = y - 0.01*z
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := RK4(FromSystem(s), []float64{0.999, 0.001, 0}, 0, 100, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tr.Len(); i += 500 {
+		sum := tr.Points[i][0] + tr.Points[i][1] + tr.Points[i][2]
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("Σx at step %d = %v, want 1", i, sum)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package stats provides the time-series collection and summary statistics
+// used by the experiment harness: per-period series, windowed summaries
+// (median/min/max as in the paper's Figure 7), convergence detection, and
+// scatter collection (Figure 8).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Series is a named time series sampled once per protocol period.
+type Series struct {
+	Name   string
+	Times  []float64
+	Values []float64
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series {
+	return &Series{Name: name}
+}
+
+// Add appends one sample.
+func (s *Series) Add(t, v float64) {
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Window returns the values sampled at times in [t0, t1].
+func (s *Series) Window(t0, t1 float64) []float64 {
+	var out []float64
+	for i, t := range s.Times {
+		if t >= t0 && t <= t1 {
+			out = append(out, s.Values[i])
+		}
+	}
+	return out
+}
+
+// Last returns the most recent value, or 0 for an empty series.
+func (s *Series) Last() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	return s.Values[len(s.Values)-1]
+}
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	Count           int
+	Min, Max        float64
+	Mean, Std       float64
+	Median, P5, P95 float64
+}
+
+// Summarize computes summary statistics of the values. An empty input
+// yields a zero Summary.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var sum, sumSq float64
+	for _, v := range sorted {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		Count:  len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   mean,
+		Std:    math.Sqrt(variance),
+		Median: Quantile(sorted, 0.5),
+		P5:     Quantile(sorted, 0.05),
+		P95:    Quantile(sorted, 0.95),
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted
+// sample, with linear interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	w := pos - float64(lo)
+	return (1-w)*sorted[lo] + w*sorted[hi]
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.4g med=%.4g mean=%.4g max=%.4g std=%.4g",
+		s.Count, s.Min, s.Median, s.Mean, s.Max, s.Std)
+}
+
+// ConvergenceTime returns the first time at which pred(value) becomes true
+// and remains true for the rest of the series. It returns (0, false) when
+// the series never settles.
+func ConvergenceTime(s *Series, pred func(v float64) bool) (float64, bool) {
+	settled := -1
+	for i, v := range s.Values {
+		if pred(v) {
+			if settled < 0 {
+				settled = i
+			}
+		} else {
+			settled = -1
+		}
+	}
+	if settled < 0 {
+		return 0, false
+	}
+	return s.Times[settled], true
+}
+
+// Scatter collects (x, y) points, e.g. (period, host ID) pairs for the
+// paper's untraceability plot (Figure 8).
+type Scatter struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// NewScatter returns an empty named scatter.
+func NewScatter(name string) *Scatter {
+	return &Scatter{Name: name}
+}
+
+// Add appends one point.
+func (sc *Scatter) Add(x, y float64) {
+	sc.Xs = append(sc.Xs, x)
+	sc.Ys = append(sc.Ys, y)
+}
+
+// Len returns the number of points.
+func (sc *Scatter) Len() int { return len(sc.Xs) }
+
+// CorrelationXY returns the Pearson correlation of the scatter's
+// coordinates; the paper argues untraceability partly from the absence of
+// time/host-ID correlation in Figure 8.
+func (sc *Scatter) CorrelationXY() float64 {
+	n := float64(len(sc.Xs))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, syy, sxy float64
+	for i := range sc.Xs {
+		x, y := sc.Xs[i], sc.Ys[i]
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	cov := sxy/n - (sx/n)*(sy/n)
+	vx := sxx/n - (sx/n)*(sx/n)
+	vy := syy/n - (sy/n)*(sy/n)
+	if vx <= 0 || vy <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Histogram counts values into equal-width bins over [min, max].
+func Histogram(values []float64, bins int, min, max float64) []int {
+	out := make([]int, bins)
+	if bins == 0 || max <= min {
+		return out
+	}
+	w := (max - min) / float64(bins)
+	for _, v := range values {
+		if v < min || v > max {
+			continue
+		}
+		b := int((v - min) / w)
+		if b >= bins {
+			b = bins - 1
+		}
+		out[b]++
+	}
+	return out
+}
+
+// OccupancyFairness computes the coefficient of variation (std/mean) of
+// per-host occupancy counts; values near zero indicate the Fairness
+// property of §4.1 (every host bears responsibility about equally often).
+func OccupancyFairness(perHost []int) float64 {
+	if len(perHost) == 0 {
+		return 0
+	}
+	vals := make([]float64, len(perHost))
+	for i, c := range perHost {
+		vals[i] = float64(c)
+	}
+	s := Summarize(vals)
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.Std / s.Mean
+}

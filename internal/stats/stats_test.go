@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries("stash")
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), float64(i*i))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Last() != 81 {
+		t.Fatalf("Last = %v", s.Last())
+	}
+	w := s.Window(3, 5)
+	if len(w) != 3 || w[0] != 9 || w[2] != 25 {
+		t.Fatalf("Window = %v", w)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewSeries("empty")
+	if s.Last() != 0 {
+		t.Fatal("empty Last should be 0")
+	}
+	if got := s.Window(0, 1); len(got) != 0 {
+		t.Fatalf("empty Window = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Median != 3 || s.Mean != 3 {
+		t.Fatalf("median/mean = %v/%v", s.Median, s.Mean)
+	}
+	wantStd := math.Sqrt(2)
+	if math.Abs(s.Std-wantStd) > 1e-12 {
+		t.Fatalf("std = %v, want %v", s.Std, wantStd)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{0, 10, 20, 30, 40}
+	if q := Quantile(sorted, 0.5); q != 20 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := Quantile(sorted, 0); q != 0 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(sorted, 1); q != 40 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Quantile(sorted, 0.125); q != 5 {
+		t.Fatalf("q0.125 = %v, want interpolated 5", q)
+	}
+}
+
+func TestQuantileProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		sort.Float64s(vals)
+		q := Quantile(vals, 0.5)
+		return q >= vals[0] && q <= vals[len(vals)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvergenceTime(t *testing.T) {
+	s := NewSeries("x")
+	vals := []float64{10, 8, 3, 5, 2, 1, 1, 0}
+	for i, v := range vals {
+		s.Add(float64(i), v)
+	}
+	tm, ok := ConvergenceTime(s, func(v float64) bool { return v < 4 })
+	if !ok || tm != 4 {
+		t.Fatalf("convergence = %v %v, want 4 true (value 5 at t=3 resets)", tm, ok)
+	}
+	_, ok = ConvergenceTime(s, func(v float64) bool { return v < -1 })
+	if ok {
+		t.Fatal("should not converge")
+	}
+}
+
+func TestScatterCorrelation(t *testing.T) {
+	perfect := NewScatter("line")
+	for i := 0; i < 100; i++ {
+		perfect.Add(float64(i), 2*float64(i)+1)
+	}
+	if c := perfect.CorrelationXY(); math.Abs(c-1) > 1e-9 {
+		t.Fatalf("perfect correlation = %v", c)
+	}
+	anti := NewScatter("anti")
+	for i := 0; i < 100; i++ {
+		anti.Add(float64(i), -float64(i))
+	}
+	if c := anti.CorrelationXY(); math.Abs(c+1) > 1e-9 {
+		t.Fatalf("anti correlation = %v", c)
+	}
+	if NewScatter("tiny").CorrelationXY() != 0 {
+		t.Fatal("degenerate scatter should give 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0.1, 0.2, 0.9, 0.95, 5}, 2, 0, 1)
+	if h[0] != 2 || h[1] != 2 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestOccupancyFairness(t *testing.T) {
+	if f := OccupancyFairness([]int{5, 5, 5, 5}); f != 0 {
+		t.Fatalf("uniform fairness = %v, want 0", f)
+	}
+	skewed := OccupancyFairness([]int{100, 0, 0, 0})
+	if skewed < 1 {
+		t.Fatalf("skewed fairness = %v, want > 1", skewed)
+	}
+	if f := OccupancyFairness(nil); f != 0 {
+		t.Fatal("empty input")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
