@@ -7,12 +7,14 @@ package odeproto_test
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"odeproto/internal/churn"
 	"odeproto/internal/core"
 	"odeproto/internal/endemic"
 	"odeproto/internal/epidemic"
+	"odeproto/internal/harness"
 	"odeproto/internal/lv"
 	"odeproto/internal/ode"
 	"odeproto/internal/replica"
@@ -308,6 +310,36 @@ func BenchmarkR4LVConvergenceComplexity(b *testing.B) {
 	b.ReportMetric(worst, "worst_y_deviation")
 }
 
+// --- harness scheduler benchmarks ---
+
+// benchSweep runs the Figure-2 phase portrait (seven jobs) with the given
+// harness worker-pool size; the serial/parallel pair below measures the
+// sweep scheduler's multi-core speedup rather than asserting it.
+func benchSweep(b *testing.B, workers int) {
+	harness.SetDefaultWorkers(workers)
+	defer harness.SetDefaultWorkers(0)
+	p := endemic.Params{B: 2, Gamma: 1.0, Alpha: 0.01}
+	for i := 0; i < b.N; i++ {
+		if _, err := endemic.PhasePortrait(p, endemic.Figure2InitialPoints(), 600, 5, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(workersOrAllCores(workers)), "workers")
+}
+
+func workersOrAllCores(w int) int {
+	if w <= 0 {
+		return runtime.NumCPU()
+	}
+	return w
+}
+
+// BenchmarkSweepSerial pins the harness to one worker.
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel lets the harness use every core.
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
 // --- ablation and substrate benchmarks ---
 
 // BenchmarkAblationFrameworkVsFigure1 compares the canonical framework
@@ -320,23 +352,31 @@ func BenchmarkAblationFrameworkVsFigure1(b *testing.B) {
 		n := 10000
 		initY := int(eq.Stash * float64(n))
 		initX := int(eq.Receptive * float64(n))
-		e, err := sim.New(sim.Config{
-			N: n, Protocol: proto,
-			Initial: map[ode.Var]int{
-				endemic.Receptive: initX, endemic.Stash: initY,
-				endemic.Averse: n - initX - initY,
-			},
-			Seed: seed,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		e.Run(500)
 		var stashSum, msgSum float64
-		for t := 0; t < 500; t++ {
-			e.Step()
-			stashSum += float64(e.Count(endemic.Stash))
-			msgSum += float64(e.MessagesLastPeriod())
+		out := harness.Run(harness.Job{
+			Name: "ablation-protocol",
+			Seed: seed,
+			New: func(seed int64) (harness.Runner, error) {
+				return harness.NewAgent(sim.Config{
+					N: n, Protocol: proto,
+					Initial: map[ode.Var]int{
+						endemic.Receptive: initX, endemic.Stash: initY,
+						endemic.Averse: n - initX - initY,
+					},
+					Seed: seed,
+				})
+			},
+			Periods: 1000,
+			AfterStep: func(r harness.Runner, t int) {
+				if t < 500 {
+					return
+				}
+				stashSum += float64(r.Count(endemic.Stash))
+				msgSum += float64(r.(*harness.AgentRunner).MessagesLastPeriod())
+			},
+		})
+		if out.Err != nil {
+			b.Fatal(out.Err)
 		}
 		return stashSum / 500, msgSum / 500 / float64(n)
 	}
@@ -375,18 +415,25 @@ func BenchmarkAblationTokenDirectedVsTTL(b *testing.B) {
 	// target state, so a short random walk often expires while directed
 	// delivery always lands — the §6 trade-off.
 	run := func(ttl int, seed int64) (moved, lost float64) {
-		e, err := sim.New(sim.Config{
-			N: 20000, Protocol: proto,
-			Initial: map[ode.Var]int{"x": 400, "y": 19600},
-			Seed:    seed, TokenTTL: ttl,
+		out := harness.Run(harness.Job{
+			Name: "token-delivery",
+			Seed: seed,
+			New: func(seed int64) (harness.Runner, error) {
+				return harness.NewAgent(sim.Config{
+					N: 20000, Protocol: proto,
+					Initial: map[ode.Var]int{"x": 400, "y": 19600},
+					Seed:    seed, TokenTTL: ttl,
+				})
+			},
+			Periods: 3,
+			AfterStep: func(r harness.Runner, t int) {
+				a := r.(*harness.AgentRunner)
+				moved += float64(a.TransitionsLastPeriod()[[2]ode.Var{"x", "y"}])
+				lost += float64(a.TokensLostLastPeriod())
+			},
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		for t := 0; t < 3; t++ {
-			e.Step()
-			moved += float64(e.TransitionsLastPeriod()[[2]ode.Var{"x", "y"}])
-			lost += float64(e.TokensLostLastPeriod())
+		if out.Err != nil {
+			b.Fatal(out.Err)
 		}
 		return moved, lost
 	}
@@ -417,17 +464,28 @@ func BenchmarkAblationFailureCompensation(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		e, err := sim.New(sim.Config{
-			N: 100000, Protocol: proto,
-			Initial:     map[ode.Var]int{"x": 50000, "y": 50000},
-			Seed:        seed,
-			MessageLoss: loss,
+		var drift float64
+		out := harness.Run(harness.Job{
+			Name: "failure-compensation",
+			Seed: seed,
+			New: func(seed int64) (harness.Runner, error) {
+				return harness.NewAgent(sim.Config{
+					N: 100000, Protocol: proto,
+					Initial:     map[ode.Var]int{"x": 50000, "y": 50000},
+					Seed:        seed,
+					MessageLoss: loss,
+				})
+			},
+			Periods: 1,
+			AfterStep: func(r harness.Runner, t int) {
+				trans := r.(harness.TransitionCounter).TransitionsLastPeriod()
+				drift = float64(trans[[2]ode.Var{"x", "y"}]) / proto.P
+			},
 		})
-		if err != nil {
-			b.Fatal(err)
+		if out.Err != nil {
+			b.Fatal(out.Err)
 		}
-		e.Step()
-		return float64(e.TransitionsLastPeriod()[[2]ode.Var{"x", "y"}]) / proto.P
+		return drift
 	}
 	var plain, comp float64
 	for i := 0; i < b.N; i++ {
@@ -469,32 +527,43 @@ func BenchmarkSupplementalDirectedAttack(b *testing.B) {
 func BenchmarkAblationViewSize(b *testing.B) {
 	const n = 20000
 	p := endemic.Params{B: 2, Gamma: 0.1, Alpha: 0.001}
-	run := func(viewSize int, seed int64) float64 {
-		proto, err := endemic.NewFigure1Protocol(p)
-		if err != nil {
-			b.Fatal(err)
-		}
-		e, err := sim.New(sim.Config{
-			N: n, Protocol: proto,
-			Initial:  map[ode.Var]int{endemic.Receptive: n - n/10, endemic.Stash: n / 10, endemic.Averse: 0},
-			ViewSize: viewSize,
-			Seed:     seed,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		e.Run(1500)
-		var sum float64
-		for t := 0; t < 500; t++ {
-			e.Step()
-			sum += float64(e.Count(endemic.Stash))
-		}
-		return sum / 500
+	proto, err := endemic.NewFigure1Protocol(p)
+	if err != nil {
+		b.Fatal(err)
 	}
 	var full, logView float64
 	for i := 0; i < b.N; i++ {
-		full = run(0, int64(i))
-		logView = run(29, int64(i)) // ~2·log2(20000)
+		// Full membership and the ~2·log2(20000) partial view run as a
+		// two-job parallel sweep.
+		sums := [2]float64{}
+		views := [2]int{0, 29}
+		jobs := make([]harness.Job, len(views))
+		for j, k := range views {
+			sum := &sums[j]
+			cfg := sim.Config{
+				N: n, Protocol: proto,
+				Initial:  map[ode.Var]int{endemic.Receptive: n - n/10, endemic.Stash: n / 10, endemic.Averse: 0},
+				ViewSize: k,
+			}
+			jobs[j] = harness.Job{
+				Name: "view-ablation",
+				Seed: int64(i),
+				New: func(seed int64) (harness.Runner, error) {
+					cfg.Seed = seed
+					return harness.NewAgent(cfg)
+				},
+				Periods: 2000,
+				AfterStep: func(r harness.Runner, t int) {
+					if t >= 1500 {
+						*sum += float64(r.Count(endemic.Stash))
+					}
+				},
+			}
+		}
+		if _, err := harness.Sweep(jobs, harness.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		full, logView = sums[0]/500, sums[1]/500
 	}
 	eq := endemic.StableEquilibrium(p.Beta(), p.Gamma, p.Alpha)
 	b.ReportMetric(full, "full_membership_stash")

@@ -1,10 +1,13 @@
 // Command endemicsim runs parameterized endemic-replication experiments
-// (§4.1/§5.1 of the paper) from the command line.
+// (§4.1/§5.1 of the paper) from the command line. With -seeds k the run
+// is replicated across k independent seeds fanned out in parallel through
+// the harness scheduler (output is identical at any -workers count).
 //
 // Usage:
 //
 //	endemicsim -n 100000 -b 2 -gamma 0.001 -alpha 0.000001 -periods 10000 -fail-at 5000 -fail-frac 0.5
 //	endemicsim -n 2000 -b 32 -gamma 0.1 -alpha 0.005 -churn -hours 170
+//	endemicsim -n 20000 -periods 1000 -fail-at 500 -seeds 8 -workers 4
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 
 	"odeproto/internal/churn"
 	"odeproto/internal/endemic"
+	"odeproto/internal/harness"
 )
 
 func main() {
@@ -36,8 +40,11 @@ func run() error {
 		hours    = flag.Float64("hours", 170, "churn trace length in hours (10 periods/hour)")
 		every    = flag.Int("every", 100, "print a sample every this many periods")
 		seed     = flag.Int64("seed", 1, "random seed")
+		seeds    = flag.Int("seeds", 1, "replicate the run across this many derived seeds in parallel")
+		workers  = flag.Int("workers", 0, "sweep worker-pool size (0 = all cores)")
 	)
 	flag.Parse()
+	harness.SetDefaultWorkers(*workers)
 	params := endemic.Params{B: *b, Gamma: *gamma, Alpha: *alpha}
 	if err := params.Validate(); err != nil {
 		return err
@@ -81,6 +88,28 @@ func run() error {
 	if *failAt < 0 {
 		cfg.FailAt = *periods + 1 // never
 		cfg.FailFrac = 0
+	}
+	if *seeds > 1 {
+		// Replicate across derived seeds, fanned out in parallel; print a
+		// per-seed summary instead of the full series.
+		sv := make([]int64, *seeds)
+		for i := range sv {
+			sv[i] = harness.DeriveSeed(*seed, i)
+		}
+		results, err := endemic.RunMassiveFailureSeeds(cfg, sv)
+		if err != nil {
+			return err
+		}
+		fmt.Println("seed\tfinal_stash\tfinal_rcptv\tkilled")
+		for i, res := range results {
+			last := len(res.Stash) - 1
+			if last < 0 {
+				fmt.Printf("%d\t-\t-\t%d\n", sv[i], res.Killed)
+				continue
+			}
+			fmt.Printf("%d\t%.0f\t%.0f\t%d\n", sv[i], res.Stash[last], res.Receptive[last], res.Killed)
+		}
+		return nil
 	}
 	res, err := endemic.RunMassiveFailure(cfg)
 	if err != nil {

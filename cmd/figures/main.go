@@ -1,15 +1,17 @@
 // Command figures regenerates every figure of the paper's evaluation
-// (Figures 2 and 4–12) plus the in-text quantitative results (R1–R4 in
-// EXPERIMENTS.md), writing gnuplot-style .dat files and SVG renderings
-// into the output directory.
+// (Figures 2 and 4–12) plus the in-text quantitative results (R1–R4),
+// writing gnuplot-style .dat files and SVG renderings into the output
+// directory.
 //
 // By default the experiments run at the paper's scales (up to 100,000
 // hosts and 10,000 periods; a few minutes total). -quick runs reduced
-// scales suitable for CI.
+// scales suitable for CI. Sweep-shaped experiments fan out across
+// -workers cores through the harness scheduler; results are identical at
+// any worker count.
 //
 // Usage:
 //
-//	figures [-out out/] [-quick] [-only fig5,fig6]
+//	figures [-out out/] [-quick] [-only fig5,fig6] [-workers 4]
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"odeproto/internal/churn"
 	"odeproto/internal/endemic"
 	"odeproto/internal/epidemic"
+	"odeproto/internal/harness"
 	"odeproto/internal/lv"
 	"odeproto/internal/ode"
 	"odeproto/internal/plot"
@@ -57,11 +60,13 @@ var figures = []struct {
 
 func main() {
 	var (
-		out   = flag.String("out", "out", "output directory")
-		quick = flag.Bool("quick", false, "reduced scales for CI")
-		only  = flag.String("only", "", "comma-separated subset, e.g. fig5,fig11")
+		out     = flag.String("out", "out", "output directory")
+		quick   = flag.Bool("quick", false, "reduced scales for CI")
+		only    = flag.String("only", "", "comma-separated subset, e.g. fig5,fig11")
+		workers = flag.Int("workers", 0, "sweep worker-pool size (0 = all cores)")
 	)
 	flag.Parse()
+	harness.SetDefaultWorkers(*workers)
 	want := map[string]bool{}
 	for _, n := range strings.Split(*only, ",") {
 		if n = strings.TrimSpace(n); n != "" {
@@ -255,7 +260,7 @@ func fig7(out string, quick bool) error {
 // fig8: stasher scatter over periods [1000, 1200], N = 1000, b = 2,
 // γ = 0.1. The caption's α = 0.001 is inconsistent with its own quoted
 // stable stasher count (88.63, one recruitment per 40.6 s), which
-// corresponds to α = 0.01; we use α = 0.01 (see EXPERIMENTS.md).
+// corresponds to α = 0.01; we use α = 0.01.
 func fig8(out string, quick bool) error {
 	warmup, window := 1000, 200
 	if quick {
@@ -452,25 +457,38 @@ func suppViews(out string, quick bool) error {
 	if quick {
 		warmup, window = 600, 300
 	}
-	var xs, stash []float64
-	fmt.Println("   view-size  stash (analysis 193.1)")
-	for _, k := range views {
-		e, err := sim.New(sim.Config{
+	// One job per view size, fanned out in parallel.
+	sums := make([]float64, len(views))
+	jobs := make([]harness.Job, len(views))
+	for i, k := range views {
+		sum := &sums[i]
+		cfg := sim.Config{
 			N: n, Protocol: proto,
 			Initial:  map[ode.Var]int{endemic.Receptive: n - n/10, endemic.Stash: n / 10, endemic.Averse: 0},
 			ViewSize: k,
-			Seed:     2004,
-		})
-		if err != nil {
-			return err
 		}
-		e.Run(warmup)
-		var sum float64
-		for t := 0; t < window; t++ {
-			e.Step()
-			sum += float64(e.Count(endemic.Stash))
+		jobs[i] = harness.Job{
+			Name: fmt.Sprintf("view%d", k),
+			Seed: 2004,
+			New: func(seed int64) (harness.Runner, error) {
+				cfg.Seed = seed
+				return harness.NewAgent(cfg)
+			},
+			Periods: warmup + window,
+			AfterStep: func(r harness.Runner, t int) {
+				if t >= warmup {
+					*sum += float64(r.Count(endemic.Stash))
+				}
+			},
 		}
-		avgStash := sum / float64(window)
+	}
+	if _, err := harness.Sweep(jobs, harness.Options{}); err != nil {
+		return err
+	}
+	var xs, stash []float64
+	fmt.Println("   view-size  stash (analysis 193.1)")
+	for i, k := range views {
+		avgStash := sums[i] / float64(window)
 		label := k
 		if k == 0 {
 			label = n - 1 // full membership

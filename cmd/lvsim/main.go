@@ -1,10 +1,13 @@
 // Command lvsim runs parameterized LV majority-selection experiments
-// (§4.2/§5.2 of the paper) from the command line.
+// (§4.2/§5.2 of the paper) from the command line. With -trials k the
+// election is replicated across k independent seeds fanned out in
+// parallel through the harness scheduler, and a winner tally is printed.
 //
 // Usage:
 //
 //	lvsim -n 100000 -x 60000 -y 40000 -periods 1000
 //	lvsim -n 100000 -x 60000 -y 40000 -fail-at 100 -fail-frac 0.5 -periods 1400
+//	lvsim -n 20000 -x 12000 -y 8000 -trials 16 -workers 4
 package main
 
 import (
@@ -12,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"odeproto/internal/harness"
 	"odeproto/internal/lv"
 )
 
@@ -33,14 +37,50 @@ func run() error {
 		failFrac = flag.Float64("fail-frac", 0.5, "fraction killed")
 		every    = flag.Int("every", 25, "print a sample every this many periods")
 		seed     = flag.Int64("seed", 1, "random seed")
+		trials   = flag.Int("trials", 1, "replicate the election across this many derived seeds in parallel")
+		workers  = flag.Int("workers", 0, "sweep worker-pool size (0 = all cores)")
 	)
 	flag.Parse()
-	run, err := lv.Simulate(lv.Config{
+	harness.SetDefaultWorkers(*workers)
+	cfg := lv.Config{
 		N: *n, InitialX: *x, InitialY: *y,
 		P: *pNorm, Periods: *periods,
 		FailAt: *failAt, FailFrac: *failFrac,
 		SampleEvery: *every, Seed: *seed,
-	})
+	}
+	if *trials > 1 {
+		seeds := make([]int64, *trials)
+		for i := range seeds {
+			seeds[i] = harness.DeriveSeed(*seed, i)
+		}
+		runs, err := lv.SimulateMany(cfg, seeds)
+		if err != nil {
+			return err
+		}
+		wins := map[string]int{}
+		var convSum float64
+		converged := 0
+		fmt.Println("seed\twinner\tconverged_at")
+		for i, r := range runs {
+			winner := string(r.Winner)
+			if winner == "" {
+				winner = "-"
+			}
+			wins[winner]++
+			if r.ConvergedAt >= 0 {
+				converged++
+				convSum += float64(r.ConvergedAt)
+			}
+			fmt.Printf("%d\t%s\t%d\n", seeds[i], winner, r.ConvergedAt)
+		}
+		fmt.Printf("tally: x=%d y=%d unconverged=%d", wins["x"], wins["y"], wins["-"])
+		if converged > 0 {
+			fmt.Printf(", mean convergence period %.0f", convSum/float64(converged))
+		}
+		fmt.Println()
+		return nil
+	}
+	run, err := lv.Simulate(cfg)
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,10 @@
 //
 //	odeproto -file endemic.ode -params beta=4,gamma=1,alpha=0.01
 //	odeproto -file lv.ode -p 0.01 -simulate 100000 -initial x=60000,y=40000 -periods 1000
+//	odeproto -file epi.ode -simulate 1000000 -engine aggregate
+//
+// Simulation runs through the harness Runner layer; -engine selects the
+// per-process agent engine or the count-based aggregate engine.
 //
 // The DSL has one equation per line, e.g.:
 //
@@ -25,6 +29,7 @@ import (
 
 	"odeproto/internal/core"
 	"odeproto/internal/dynamics"
+	"odeproto/internal/harness"
 	"odeproto/internal/ode"
 	"odeproto/internal/rewrite"
 	"odeproto/internal/sim"
@@ -52,6 +57,7 @@ func run(args []string) error {
 		periods   = fs.Int("periods", 100, "periods to simulate")
 		seed      = fs.Int64("seed", 1, "simulation seed")
 		every     = fs.Int("every", 10, "print simulated counts every this many periods")
+		engine    = fs.String("engine", "agent", "simulation engine: agent (per-process) or aggregate (count-based)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,7 +114,7 @@ func run(args []string) error {
 		}
 	}
 	if *simulate > 0 {
-		return runSimulation(proto, *simulate, *initial, *periods, *seed, *every)
+		return runSimulation(proto, *simulate, *initial, *periods, *seed, *every, *engine)
 	}
 	return nil
 }
@@ -160,7 +166,7 @@ func simplexSeeds(vars []ode.Var) []map[ode.Var]float64 {
 	return seeds
 }
 
-func runSimulation(proto *core.Protocol, n int, initialSpec string, periods int, seed int64, every int) error {
+func runSimulation(proto *core.Protocol, n int, initialSpec string, periods int, seed int64, every int, engine string) error {
 	counts := make(map[ode.Var]int, len(proto.States))
 	if initialSpec == "" {
 		// Uniform split with remainder on the first state.
@@ -186,9 +192,18 @@ func runSimulation(proto *core.Protocol, n int, initialSpec string, periods int,
 			counts[proto.States[len(proto.States)-1]] += rest
 		}
 	}
-	e, err := sim.New(sim.Config{N: n, Protocol: proto, Initial: counts, Seed: seed})
-	if err != nil {
-		return err
+	var newRunner func(seed int64) (harness.Runner, error)
+	switch engine {
+	case "agent":
+		newRunner = func(seed int64) (harness.Runner, error) {
+			return harness.NewAgent(sim.Config{N: n, Protocol: proto, Initial: counts, Seed: seed})
+		}
+	case "aggregate":
+		newRunner = func(seed int64) (harness.Runner, error) {
+			return harness.NewAggregate(proto, counts, seed, 0)
+		}
+	default:
+		return fmt.Errorf("unknown engine %q (want agent or aggregate)", engine)
 	}
 	if every < 1 {
 		every = 1
@@ -198,19 +213,31 @@ func runSimulation(proto *core.Protocol, n int, initialSpec string, periods int,
 		header = append(header, string(s))
 	}
 	fmt.Println(strings.Join(header, "\t"))
-	for t := 0; t <= periods; t++ {
-		if t%every == 0 {
-			row := []string{strconv.Itoa(t)}
-			for _, s := range proto.States {
-				row = append(row, strconv.Itoa(e.Count(s)))
-			}
-			fmt.Println(strings.Join(row, "\t"))
+	printRow := func(r harness.Runner, t int) {
+		row := []string{strconv.Itoa(t)}
+		for _, s := range proto.States {
+			row = append(row, strconv.Itoa(r.Count(s)))
 		}
-		if t < periods {
-			e.Step()
-		}
+		fmt.Println(strings.Join(row, "\t"))
 	}
-	return nil
+	res := harness.Run(harness.Job{
+		Name:    "odeproto-simulate",
+		Seed:    seed,
+		New:     newRunner,
+		Periods: periods,
+		BeforeStep: func(r harness.Runner, t int) {
+			if t%every == 0 {
+				printRow(r, t)
+			}
+		},
+		Done: func(r harness.Runner) error {
+			if periods%every == 0 {
+				printRow(r, periods)
+			}
+			return nil
+		},
+	})
+	return res.Err
 }
 
 func readSource(path string) (string, error) {

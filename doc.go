@@ -8,13 +8,14 @@
 // (internal/dynamics, internal/linalg, internal/solver), the two case-study
 // protocols — endemic migratory replication (internal/endemic) and
 // Lotka–Volterra majority selection (internal/lv) — the epidemic motivating
-// example (internal/epidemic), and the simulation substrates needed to
+// example (internal/epidemic), the simulation substrates needed to
 // regenerate every figure of the paper's evaluation (internal/sim,
 // internal/asyncnet, internal/churn, internal/membership,
-// internal/replica, internal/mt19937, internal/stats, internal/plot).
+// internal/replica, internal/mt19937, internal/stats, internal/plot), and
+// the engine-agnostic experiment harness that fans those experiments out
+// across cores deterministically (internal/harness).
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for the paper-vs-measured record. The benchmarks in
-// bench_test.go regenerate each experiment at reduced scale; cmd/figures
-// regenerates them at paper scale.
+// See README.md for a package tour, a quickstart, and harness usage. The
+// benchmarks in bench_test.go regenerate each experiment at reduced scale;
+// cmd/figures regenerates them at paper scale.
 package odeproto

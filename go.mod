@@ -1,0 +1,3 @@
+module odeproto
+
+go 1.24

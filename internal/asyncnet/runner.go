@@ -1,0 +1,133 @@
+package asyncnet
+
+import (
+	"fmt"
+
+	"odeproto/internal/harness"
+	"odeproto/internal/ode"
+)
+
+// Runner adapts the asynchronous runtime to the harness.Runner interface,
+// so sweeps can execute on the paper's true system model (§1) through the
+// same scheduler as the synchronous engines. The runtime is one-shot — it
+// spins up a goroutine per process and tears the group down at the end of
+// a run — so the adapter executes periods in segments: each Run(k) call
+// launches a fresh asynchronous execution of k periods whose initial
+// population is the previous segment's final population, seeded
+// deterministically from the base seed and the segment index. Population
+// counts are continuous across segments; per-process identity is not
+// (asyncnet processes carry no addressable identity anyway). Prefer
+// coarse Run calls over per-period Step calls: every segment pays the
+// group's start-up and tear-down cost.
+type Runner struct {
+	cfg Config
+
+	counts      map[ode.Var]int
+	period      int
+	segment     int
+	transitions map[[2]ode.Var]int
+	messages    int
+	err         error
+}
+
+// NewRunner builds an asynchronous harness Runner. The config's Periods
+// field is ignored; periods are supplied per Run call.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.Protocol == nil {
+		return nil, fmt.Errorf("asyncnet: nil protocol")
+	}
+	if err := cfg.Protocol.Validate(); err != nil {
+		return nil, fmt.Errorf("asyncnet: %w", err)
+	}
+	total := 0
+	counts := make(map[ode.Var]int, len(cfg.Protocol.States))
+	for _, s := range cfg.Protocol.States {
+		c := cfg.Initial[s]
+		if c < 0 {
+			return nil, fmt.Errorf("asyncnet: negative initial count for %q", s)
+		}
+		counts[s] = c
+		total += c
+	}
+	if total != cfg.N {
+		return nil, fmt.Errorf("asyncnet: initial counts sum to %d, want %d", total, cfg.N)
+	}
+	return &Runner{
+		cfg:         cfg,
+		counts:      counts,
+		transitions: make(map[[2]ode.Var]int),
+	}, nil
+}
+
+// Step executes one protocol period (one single-period segment).
+func (r *Runner) Step() { r.Run(1) }
+
+// Run executes the given number of periods as one asynchronous segment.
+// On failure the adapter records a sticky error (see Err) and stops
+// advancing; the harness surfaces it at the end of the job.
+func (r *Runner) Run(periods int) {
+	if r.err != nil || periods <= 0 {
+		return
+	}
+	cfg := r.cfg
+	cfg.Periods = periods
+	cfg.Initial = r.Counts()
+	cfg.Seed = harness.DeriveSeed(r.cfg.Seed, r.segment)
+	res, err := Run(cfg)
+	if err != nil {
+		r.err = err
+		return
+	}
+	r.counts = res.Counts
+	for k, v := range res.Transitions {
+		r.transitions[k] += v
+	}
+	r.messages += res.MessagesSent
+	r.period += periods
+	r.segment++
+}
+
+// Err returns the sticky error of a failed segment, if any.
+func (r *Runner) Err() error { return r.err }
+
+// Period returns the number of completed protocol periods.
+func (r *Runner) Period() int { return r.period }
+
+// Alive returns the population size (asyncnet models no crashes).
+func (r *Runner) Alive() int {
+	n := 0
+	for _, c := range r.counts {
+		n += c
+	}
+	return n
+}
+
+// Counts returns a copy of the per-state population.
+func (r *Runner) Counts() map[ode.Var]int {
+	out := make(map[ode.Var]int, len(r.counts))
+	for k, v := range r.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Count returns the population of one state.
+func (r *Runner) Count(s ode.Var) int { return r.counts[s] }
+
+// MessagesSent returns the cumulative transport sends across all segments.
+func (r *Runner) MessagesSent() int { return r.messages }
+
+// TransitionsTotal returns the cumulative per-edge transition counts
+// across all segments.
+func (r *Runner) TransitionsTotal() map[[2]ode.Var]int { return r.transitions }
+
+// Perturb is unsupported: the asynchronous runtime models no process
+// failures (its loss model is per-message).
+func (r *Runner) Perturb(p harness.Perturbation) (int, error) {
+	switch p.Kind {
+	case harness.KillFraction, harness.Kill, harness.Revive, harness.Freeze, harness.Unfreeze:
+		return 0, harness.ErrUnsupported
+	default:
+		return 0, fmt.Errorf("asyncnet: unknown perturbation kind %v", p.Kind)
+	}
+}

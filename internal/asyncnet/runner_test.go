@@ -1,0 +1,104 @@
+package asyncnet
+
+import (
+	"testing"
+	"time"
+
+	"odeproto/internal/core"
+	"odeproto/internal/harness"
+	"odeproto/internal/ode"
+)
+
+func TestRunnerSegmentsConservePopulation(t *testing.T) {
+	proto := mustTranslate(t, "x' = -x*y\ny' = x*y", core.Options{})
+	r, err := NewRunner(Config{
+		N: 60, Protocol: proto,
+		Initial:    map[ode.Var]int{"x": 50, "y": 10},
+		Seed:       11,
+		BasePeriod: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two coarse segments plus one single-period segment; the population
+	// must be conserved across segment boundaries and the period counter
+	// must add up.
+	r.Run(5)
+	r.Run(3)
+	r.Step()
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Period() != 9 {
+		t.Fatalf("period = %d, want 9", r.Period())
+	}
+	if r.Alive() != 60 {
+		t.Fatalf("population not conserved: alive = %d, want 60", r.Alive())
+	}
+	total := 0
+	for _, c := range r.Counts() {
+		total += c
+	}
+	if total != 60 {
+		t.Fatalf("counts sum to %d, want 60", total)
+	}
+	// The epidemic protocol only converts x → y, so y must not shrink.
+	if r.Count("y") < 10 {
+		t.Fatalf("y = %d shrank below its initial 10", r.Count("y"))
+	}
+	if r.MessagesSent() == 0 {
+		t.Fatal("no messages recorded across segments")
+	}
+}
+
+func TestRunnerThroughHarnessJob(t *testing.T) {
+	proto := mustTranslate(t, "x' = -x*y\ny' = x*y", core.Options{})
+	var finalY int
+	res := harness.Run(harness.Job{
+		Name: "async-epidemic",
+		Seed: 5,
+		New: func(seed int64) (harness.Runner, error) {
+			return NewRunner(Config{
+				N: 40, Protocol: proto,
+				Initial:    map[ode.Var]int{"x": 30, "y": 10},
+				Seed:       seed,
+				BasePeriod: time.Millisecond,
+			})
+		},
+		Periods: 4,
+		Done: func(r harness.Runner) error {
+			finalY = r.Count("y")
+			return nil
+		},
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if finalY < 10 || finalY > 40 {
+		t.Fatalf("final y = %d outside [10, 40]", finalY)
+	}
+}
+
+func TestRunnerRejectsPerturbations(t *testing.T) {
+	proto := mustTranslate(t, "x' = -x*y\ny' = x*y", core.Options{})
+	r, err := NewRunner(Config{
+		N: 10, Protocol: proto,
+		Initial: map[ode.Var]int{"x": 9, "y": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Perturb(harness.Perturbation{Kind: harness.KillFraction, Frac: 0.5}); err != harness.ErrUnsupported {
+		t.Fatalf("Perturb error = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestNewRunnerValidation(t *testing.T) {
+	proto := mustTranslate(t, "x' = -x*y\ny' = x*y", core.Options{})
+	if _, err := NewRunner(Config{N: 10, Initial: map[ode.Var]int{"x": 10}}); err == nil {
+		t.Fatal("nil protocol accepted")
+	}
+	if _, err := NewRunner(Config{N: 10, Protocol: proto, Initial: map[ode.Var]int{"x": 4}}); err == nil {
+		t.Fatal("mismatched initial counts accepted")
+	}
+}

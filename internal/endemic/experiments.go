@@ -4,10 +4,19 @@ import (
 	"fmt"
 
 	"odeproto/internal/churn"
+	"odeproto/internal/harness"
 	"odeproto/internal/ode"
 	"odeproto/internal/sim"
 	"odeproto/internal/stats"
 )
+
+// The experiments in this file reproduce the endemic half of the paper's
+// evaluation (§5.1). They all route through the harness scheduler: each
+// experiment builds []harness.Job — engine factory, seed, perturbation
+// schedule, observation hooks — and fans them out with harness.Sweep.
+// Single-run experiments use the same Job shape through harness.Run, so
+// sequential and parallel execution share one code path and the results
+// are identical at any worker count.
 
 // InitialCounts is a starting population (X, Y, Z) in absolute counts, as
 // in the Figure 2 caption.
@@ -45,6 +54,8 @@ type Trajectory struct {
 // PhasePortrait simulates the Figure-1 protocol from each initial point and
 // records the (X, Y) = (#receptive, #stash) trajectory — the paper's
 // Figure 2 phase portrait (a stable spiral for β = 4, γ = 1.0, α = 0.01).
+// The initial points run in parallel; per-point seeds keep the output
+// independent of the worker count.
 func PhasePortrait(p Params, initials []InitialCounts, periods int, sampleEvery int, seed int64) ([]Trajectory, error) {
 	if sampleEvery < 1 {
 		sampleEvery = 1
@@ -53,26 +64,30 @@ func PhasePortrait(p Params, initials []InitialCounts, periods int, sampleEvery 
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Trajectory, 0, len(initials))
+	out := make([]Trajectory, len(initials))
+	jobs := make([]harness.Job, len(initials))
 	for i, ic := range initials {
-		e, err := sim.New(sim.Config{
-			N:        ic.total(),
-			Protocol: proto,
-			Initial:  ic.toMap(),
-			Seed:     seed + int64(i)*7919,
-		})
-		if err != nil {
-			return nil, err
+		tr := &out[i]
+		tr.Initial = ic
+		cfg := sim.Config{N: ic.total(), Protocol: proto, Initial: ic.toMap()}
+		jobs[i] = harness.Job{
+			Name: fmt.Sprintf("fig2-point%d", i),
+			Seed: seed + int64(i)*7919,
+			New: func(seed int64) (harness.Runner, error) {
+				cfg.Seed = seed
+				return harness.NewAgent(cfg)
+			},
+			Periods: periods,
+			BeforeStep: func(r harness.Runner, t int) {
+				if t%sampleEvery == 0 {
+					tr.Xs = append(tr.Xs, float64(r.Count(Receptive)))
+					tr.Ys = append(tr.Ys, float64(r.Count(Stash)))
+				}
+			},
 		}
-		tr := Trajectory{Initial: ic}
-		for t := 0; t < periods; t++ {
-			if t%sampleEvery == 0 {
-				tr.Xs = append(tr.Xs, float64(e.Count(Receptive)))
-				tr.Ys = append(tr.Ys, float64(e.Count(Stash)))
-			}
-			e.Step()
-		}
-		out = append(out, tr)
+	}
+	if _, err := harness.Sweep(jobs, harness.Options{}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -99,16 +114,16 @@ type MassiveFailureResult struct {
 	Killed    int
 }
 
-// RunMassiveFailure reproduces the experiment behind Figures 5 and 6: a
-// system started at the analytic equilibrium suffers a massive correlated
-// failure and re-stabilizes, with the file-flux rate barely disturbed.
-func RunMassiveFailure(cfg MassiveFailureConfig) (*MassiveFailureResult, error) {
+// newMassiveFailureJob builds the harness job for one massive-failure run
+// together with the result record its hooks populate (Killed is filled in
+// from the harness result by the caller).
+func newMassiveFailureJob(name string, cfg MassiveFailureConfig) (harness.Job, *MassiveFailureResult, error) {
 	if cfg.FailFrac < 0 || cfg.FailFrac >= 1 {
-		return nil, fmt.Errorf("endemic: fail fraction %v outside [0,1)", cfg.FailFrac)
+		return harness.Job{}, nil, fmt.Errorf("endemic: fail fraction %v outside [0,1)", cfg.FailFrac)
 	}
 	proto, err := NewFigure1Protocol(cfg.Params)
 	if err != nil {
-		return nil, err
+		return harness.Job{}, nil, err
 	}
 	eq := StableEquilibrium(cfg.Params.Beta(), cfg.Params.Gamma, cfg.Params.Alpha)
 	initY := int(eq.Stash * float64(cfg.N))
@@ -117,30 +132,80 @@ func RunMassiveFailure(cfg MassiveFailureConfig) (*MassiveFailureResult, error) 
 	}
 	initX := int(eq.Receptive * float64(cfg.N))
 	initZ := cfg.N - initX - initY
-	e, err := sim.New(sim.Config{
-		N:        cfg.N,
-		Protocol: proto,
-		Initial:  map[ode.Var]int{Receptive: initX, Stash: initY, Averse: initZ},
-		Seed:     cfg.Seed,
-	})
+	res := &MassiveFailureResult{}
+	job := harness.Job{
+		Name: name,
+		Seed: cfg.Seed,
+		New: func(seed int64) (harness.Runner, error) {
+			return harness.NewAgent(sim.Config{
+				N:        cfg.N,
+				Protocol: proto,
+				Initial:  map[ode.Var]int{Receptive: initX, Stash: initY, Averse: initZ},
+				Seed:     seed,
+			})
+		},
+		Periods: cfg.Periods,
+		Events: []harness.Event{
+			{At: cfg.FailAt, P: harness.Perturbation{Kind: harness.KillFraction, Frac: cfg.FailFrac}},
+		},
+		AfterStep: func(r harness.Runner, t int) {
+			if t < cfg.RecordFrom {
+				return
+			}
+			res.Times = append(res.Times, float64(t))
+			res.Stash = append(res.Stash, float64(r.Count(Stash)))
+			res.Receptive = append(res.Receptive, float64(r.Count(Receptive)))
+			res.Averse = append(res.Averse, float64(r.Count(Averse)))
+			trans := r.(harness.TransitionCounter).TransitionsLastPeriod()
+			res.Flux = append(res.Flux, float64(trans[[2]ode.Var{Receptive, Stash}]))
+		},
+	}
+	if cfg.FailAt < 0 || cfg.FailAt >= cfg.Periods || cfg.FailFrac == 0 {
+		job.Events = nil
+	}
+	return job, res, nil
+}
+
+// RunMassiveFailure reproduces the experiment behind Figures 5 and 6: a
+// system started at the analytic equilibrium suffers a massive correlated
+// failure and re-stabilizes, with the file-flux rate barely disturbed.
+func RunMassiveFailure(cfg MassiveFailureConfig) (*MassiveFailureResult, error) {
+	job, res, err := newMassiveFailureJob("massive-failure", cfg)
 	if err != nil {
 		return nil, err
 	}
-	res := &MassiveFailureResult{}
-	for t := 0; t < cfg.Periods; t++ {
-		if t == cfg.FailAt {
-			res.Killed = e.KillFraction(cfg.FailFrac)
-		}
-		e.Step()
-		if t >= cfg.RecordFrom {
-			res.Times = append(res.Times, float64(t))
-			res.Stash = append(res.Stash, float64(e.Count(Stash)))
-			res.Receptive = append(res.Receptive, float64(e.Count(Receptive)))
-			res.Averse = append(res.Averse, float64(e.Count(Averse)))
-			res.Flux = append(res.Flux, float64(e.TransitionsLastPeriod()[[2]ode.Var{Receptive, Stash}]))
-		}
+	out := harness.Run(job)
+	if out.Err != nil {
+		return nil, out.Err
 	}
+	res.Killed = out.Killed
 	return res, nil
+}
+
+// RunMassiveFailureSeeds replicates the massive-failure experiment across
+// independent seeds, fanned out in parallel. Results are returned in seed
+// order regardless of the worker count.
+func RunMassiveFailureSeeds(cfg MassiveFailureConfig, seeds []int64) ([]*MassiveFailureResult, error) {
+	jobs := make([]harness.Job, len(seeds))
+	results := make([]*MassiveFailureResult, len(seeds))
+	for i, s := range seeds {
+		c := cfg
+		c.Seed = s
+		job, res, err := newMassiveFailureJob(fmt.Sprintf("massive-failure-seed%d", s), c)
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = job
+		results[i] = res
+	}
+	out, err := harness.Sweep(jobs, harness.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for i := range results {
+		results[i].Killed = out[i].Killed
+	}
+	return results, nil
 }
 
 // SweepPoint is one group size of the Figure 7 analysis-vs-measured sweep.
@@ -155,44 +220,56 @@ type SweepPoint struct {
 // RunEquilibriumSweep reproduces Figure 7: for each group size, run the
 // protocol past equilibrium, then record windowPeriods periods and compare
 // the measured median (and min/max) populations with the analytic
-// equilibrium (2).
+// equilibrium (2). The group sizes run in parallel.
 func RunEquilibriumSweep(ns []int, p Params, warmup, windowPeriods int, seed int64) ([]SweepPoint, error) {
 	proto, err := NewFigure1Protocol(p)
 	if err != nil {
 		return nil, err
 	}
 	eq := StableEquilibrium(p.Beta(), p.Gamma, p.Alpha)
-	out := make([]SweepPoint, 0, len(ns))
+	out := make([]SweepPoint, len(ns))
+	series := make([][2][]float64, len(ns)) // stash, receptive per job
+	jobs := make([]harness.Job, len(ns))
 	for i, n := range ns {
 		initY := int(eq.Stash * float64(n))
 		if initY < 1 {
 			initY = 1
 		}
 		initX := int(eq.Receptive * float64(n))
-		e, err := sim.New(sim.Config{
+		cfg := sim.Config{
 			N:        n,
 			Protocol: proto,
 			Initial:  map[ode.Var]int{Receptive: initX, Stash: initY, Averse: n - initX - initY},
-			Seed:     seed + int64(i)*104729,
-		})
-		if err != nil {
-			return nil, err
 		}
-		e.Run(warmup)
-		stash := make([]float64, 0, windowPeriods)
-		rcptv := make([]float64, 0, windowPeriods)
-		for t := 0; t < windowPeriods; t++ {
-			e.Step()
-			stash = append(stash, float64(e.Count(Stash)))
-			rcptv = append(rcptv, float64(e.Count(Receptive)))
-		}
-		out = append(out, SweepPoint{
+		out[i] = SweepPoint{
 			N:                 n,
-			StashMeasured:     stats.Summarize(stash),
-			ReceptiveMeasured: stats.Summarize(rcptv),
 			StashAnalysis:     eq.Stash * float64(n),
 			ReceptiveAnalysis: eq.Receptive * float64(n),
-		})
+		}
+		rec := &series[i]
+		jobs[i] = harness.Job{
+			Name: fmt.Sprintf("fig7-n%d", n),
+			Seed: seed + int64(i)*104729,
+			New: func(seed int64) (harness.Runner, error) {
+				cfg.Seed = seed
+				return harness.NewAgent(cfg)
+			},
+			Periods: warmup + windowPeriods,
+			AfterStep: func(r harness.Runner, t int) {
+				if t < warmup {
+					return
+				}
+				rec[0] = append(rec[0], float64(r.Count(Stash)))
+				rec[1] = append(rec[1], float64(r.Count(Receptive)))
+			},
+		}
+	}
+	if _, err := harness.Sweep(jobs, harness.Options{}); err != nil {
+		return nil, err
+	}
+	for i := range out {
+		out[i].StashMeasured = stats.Summarize(series[i][0])
+		out[i].ReceptiveMeasured = stats.Summarize(series[i][1])
 	}
 	return out, nil
 }
@@ -223,27 +300,34 @@ func RunUntraceability(n int, p Params, warmup, windowPeriods int, seed int64) (
 	}
 	eq := StableEquilibrium(p.Beta(), p.Gamma, p.Alpha)
 	initY := int(eq.Stash*float64(n)) + 1
-	e, err := sim.New(sim.Config{
-		N:        n,
-		Protocol: proto,
-		Initial:  map[ode.Var]int{Receptive: n - initY, Stash: initY, Averse: 0},
-		Seed:     seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	e.Run(warmup)
 	res := &UntraceabilityResult{Scatter: stats.NewScatter("stashers")}
 	occupancy := make([]int, n)
 	var stashSum float64
-	for t := 0; t < windowPeriods; t++ {
-		e.Step()
-		period := float64(warmup + t)
-		for _, h := range e.ProcessesIn(Stash) {
-			res.Scatter.Add(period, float64(h))
-			occupancy[h]++
-		}
-		stashSum += float64(e.Count(Stash))
+	job := harness.Job{
+		Name: "fig8-untraceability",
+		Seed: seed,
+		New: func(seed int64) (harness.Runner, error) {
+			return harness.NewAgent(sim.Config{
+				N:        n,
+				Protocol: proto,
+				Initial:  map[ode.Var]int{Receptive: n - initY, Stash: initY, Averse: 0},
+				Seed:     seed,
+			})
+		},
+		Periods: warmup + windowPeriods,
+		AfterStep: func(r harness.Runner, t int) {
+			if t < warmup {
+				return
+			}
+			for _, h := range r.(harness.ProcessLister).ProcessesIn(Stash) {
+				res.Scatter.Add(float64(t), float64(h))
+				occupancy[h]++
+			}
+			stashSum += float64(r.Count(Stash))
+		},
+	}
+	if out := harness.Run(job); out.Err != nil {
+		return nil, out.Err
 	}
 	res.MeanStashers = stashSum / float64(windowPeriods)
 	res.TimeHostCorrelation = res.Scatter.CorrelationXY()
@@ -282,31 +366,41 @@ func RunHeterogeneous(n int, p Params, frozenFrac float64, warmup, window int, s
 	eq := StableEquilibrium(p.Beta(), p.Gamma, p.Alpha)
 	initY := int(eq.Stash*float64(active)) + 1
 	initX := int(eq.Receptive*float64(active)) + 1
-	e, err := sim.New(sim.Config{
-		N:        n,
-		Protocol: proto,
-		Initial: map[ode.Var]int{
-			Receptive: initX,
-			Stash:     initY,
-			Averse:    n - initX - initY,
-		},
-		Seed: seed,
-	})
-	if err != nil {
-		return nil, err
-	}
 	// The engine lays processes out in state order (receptive, stash,
 	// averse, in System order), so the tail of the index space is averse;
-	// pin the last `frozen` processes.
+	// pin the last `frozen` processes before the first period.
+	events := make([]harness.Event, 0, frozen)
 	for q := n - frozen; q < n; q++ {
-		e.Freeze(q)
+		events = append(events, harness.Event{At: 0, P: harness.Perturbation{Kind: harness.Freeze, Proc: q}})
 	}
-	e.Run(warmup)
 	res := &HeterogeneousResult{FrozenAverse: frozen}
-	for t := 0; t < window; t++ {
-		e.Step()
-		res.MeanStash += float64(e.Count(Stash))
-		res.MeanReceptive += float64(e.Count(Receptive))
+	job := harness.Job{
+		Name: "heterogeneous",
+		Seed: seed,
+		New: func(seed int64) (harness.Runner, error) {
+			return harness.NewAgent(sim.Config{
+				N:        n,
+				Protocol: proto,
+				Initial: map[ode.Var]int{
+					Receptive: initX,
+					Stash:     initY,
+					Averse:    n - initX - initY,
+				},
+				Seed: seed,
+			})
+		},
+		Periods: warmup + window,
+		Events:  events,
+		AfterStep: func(r harness.Runner, t int) {
+			if t < warmup {
+				return
+			}
+			res.MeanStash += float64(r.Count(Stash))
+			res.MeanReceptive += float64(r.Count(Receptive))
+		},
+	}
+	if out := harness.Run(job); out.Err != nil {
+		return nil, out.Err
 	}
 	res.MeanStash /= float64(window)
 	res.MeanReceptive /= float64(window)
@@ -340,6 +434,35 @@ type ChurnResult struct {
 	MeanAlive float64
 }
 
+// churnSchedule compiles a churn trace into a harness perturbation
+// schedule: the trace's initial availability becomes Kill events at period
+// 0, and every departure/rejoin becomes a Kill/Revive event at the period
+// it falls in. Rejoining hosts come back receptive (the paper's worst-case
+// model); Revive of an already-alive host is an idempotent no-op, so the
+// schedule can be applied blindly.
+func churnSchedule(trace *churn.Trace, periodsPerHour float64, totalPeriods int) ([]harness.Event, error) {
+	rep, err := churn.NewReplayer(trace, periodsPerHour)
+	if err != nil {
+		return nil, err
+	}
+	var events []harness.Event
+	for h, up := range trace.InitiallyUp {
+		if !up {
+			events = append(events, harness.Event{At: 0, P: harness.Perturbation{Kind: harness.Kill, Proc: h}})
+		}
+	}
+	for t := 0; t < totalPeriods; t++ {
+		for _, ev := range rep.Next(t) {
+			p := harness.Perturbation{Kind: harness.Kill, Proc: ev.Host}
+			if ev.Up {
+				p = harness.Perturbation{Kind: harness.Revive, Proc: ev.Host, State: Receptive}
+			}
+			events = append(events, harness.Event{At: t, P: p})
+		}
+	}
+	return events, nil
+}
+
 // RunChurn reproduces Figures 9 and 10: the endemic protocol under
 // trace-driven churn. Departing hosts lose their replicas; rejoining hosts
 // come back receptive (the paper's worst-case model).
@@ -358,55 +481,46 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 	// equilibrium; the warm-up to RecordFromHour absorbs the transient.
 	eq := StableEquilibrium(cfg.Params.Beta(), cfg.Params.Gamma, cfg.Params.Alpha)
 	initY := int(eq.Stash*float64(cfg.N)) + 1
-	e, err := sim.New(sim.Config{
-		N:        cfg.N,
-		Protocol: proto,
-		Initial:  map[ode.Var]int{Receptive: cfg.N - initY, Stash: initY, Averse: 0},
-		Seed:     cfg.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	// Apply the trace's initial availability.
-	for h, up := range cfg.Trace.InitiallyUp {
-		if !up {
-			e.Kill(h)
-		}
-	}
-	rep, err := churn.NewReplayer(cfg.Trace, cfg.PeriodsPerHour)
-	if err != nil {
-		return nil, err
-	}
 	totalPeriods := int(cfg.Trace.Duration * cfg.PeriodsPerHour)
+	events, err := churnSchedule(cfg.Trace, cfg.PeriodsPerHour, totalPeriods)
+	if err != nil {
+		return nil, err
+	}
 	res := &ChurnResult{}
 	var aliveSum float64
 	var aliveCount int
-	for t := 0; t < totalPeriods; t++ {
-		for _, ev := range rep.Next(t) {
-			if ev.Up {
-				if e.StateOf(ev.Host) == sim.Down {
-					if err := e.Revive(ev.Host, Receptive); err != nil {
-						return nil, err
-					}
-				}
-			} else {
-				e.Kill(ev.Host)
+	job := harness.Job{
+		Name: "churn",
+		Seed: cfg.Seed,
+		New: func(seed int64) (harness.Runner, error) {
+			return harness.NewAgent(sim.Config{
+				N:        cfg.N,
+				Protocol: proto,
+				Initial:  map[ode.Var]int{Receptive: cfg.N - initY, Stash: initY, Averse: 0},
+				Seed:     seed,
+			})
+		},
+		Periods: totalPeriods,
+		Events:  events,
+		AfterStep: func(r harness.Runner, t int) {
+			hour := float64(t+1) / cfg.PeriodsPerHour
+			if hour < cfg.RecordFromHour || hour > cfg.RecordToHour {
+				return
 			}
-		}
-		e.Step()
-		hour := float64(t+1) / cfg.PeriodsPerHour
-		if hour >= cfg.RecordFromHour && hour <= cfg.RecordToHour {
-			trans := e.TransitionsLastPeriod()
+			trans := r.(harness.TransitionCounter).TransitionsLastPeriod()
 			res.Hours = append(res.Hours, hour)
-			res.Stash = append(res.Stash, float64(e.Count(Stash)))
-			res.Receptive = append(res.Receptive, float64(e.Count(Receptive)))
-			res.Averse = append(res.Averse, float64(e.Count(Averse)))
+			res.Stash = append(res.Stash, float64(r.Count(Stash)))
+			res.Receptive = append(res.Receptive, float64(r.Count(Receptive)))
+			res.Averse = append(res.Averse, float64(r.Count(Averse)))
 			res.RcptvToStash = append(res.RcptvToStash, float64(trans[[2]ode.Var{Receptive, Stash}]))
 			res.StashToAverse = append(res.StashToAverse, float64(trans[[2]ode.Var{Stash, Averse}]))
 			res.AverseToRcptv = append(res.AverseToRcptv, float64(trans[[2]ode.Var{Averse, Receptive}]))
-			aliveSum += float64(e.Alive())
+			aliveSum += float64(r.Alive())
 			aliveCount++
-		}
+		},
+	}
+	if out := harness.Run(job); out.Err != nil {
+		return nil, out.Err
 	}
 	if aliveCount > 0 {
 		res.MeanAlive = aliveSum / float64(aliveCount)

@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Event schedules one perturbation at the start of a period: it is applied
+// after period At's observation hooks of the previous period have run and
+// before period At's Step — matching the paper's experiment descriptions
+// ("at time t, half the hosts crash").
+type Event struct {
+	At int
+	P  Perturbation
+}
+
+// Job is one experiment execution: an engine factory, a seed, a horizon, a
+// perturbation schedule, and observation hooks. Jobs are self-contained —
+// a job may only write to memory it exclusively owns (its hooks typically
+// capture one slot of a results slice) — which is what makes the sweep
+// trivially parallel and worker-count independent.
+type Job struct {
+	// Name labels the job in errors.
+	Name string
+	// Seed is passed to New. Experiments reproducing the paper's figures
+	// keep their historical seed formulas; new sweeps can use DeriveSeed.
+	Seed int64
+	// New builds the job's Runner.
+	New func(seed int64) (Runner, error)
+	// Periods is the number of Step calls.
+	Periods int
+	// Events are perturbations, applied before the Step of their period.
+	// They need not be sorted; the sweep sorts a copy by At (stable, so
+	// same-period events keep their order).
+	Events []Event
+	// BeforeStep, when non-nil, runs every period after that period's
+	// events and before its Step — for experiments that record the
+	// period-start population (the phase portraits).
+	BeforeStep func(r Runner, period int)
+	// AfterStep, when non-nil, runs every period right after its Step —
+	// for experiments that record period-end populations or per-period
+	// transition counts.
+	AfterStep func(r Runner, period int)
+	// Done, when non-nil, runs once after the last period.
+	Done func(r Runner) error
+}
+
+// Result summarizes one finished job.
+type Result struct {
+	Name string
+	Seed int64
+	// Killed is the total process count affected by Kill/KillFraction
+	// events (the figure captions report it).
+	Killed int
+	// Err is the job's failure, if any.
+	Err error
+}
+
+// Options configure a sweep.
+type Options struct {
+	// Workers is the worker-pool size; 0 selects DefaultWorkers (which
+	// itself defaults to runtime.NumCPU()).
+	Workers int
+}
+
+// defaultWorkers overrides the worker count selected when Options.Workers
+// is 0; 0 means runtime.NumCPU(). Set via SetDefaultWorkers (CLI -workers
+// flags and the determinism tests use it).
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the process-wide default worker-pool size used
+// when Options.Workers is zero. n ≤ 0 restores runtime.NumCPU().
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Workers resolves an Options.Workers value to a concrete pool size.
+func (o Options) workerCount() int {
+	w := o.Workers
+	if w <= 0 {
+		w = int(defaultWorkers.Load())
+	}
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	return w
+}
+
+// Sweep fans the jobs across a worker pool and blocks until all finish.
+// Results are returned in job order. Because every job owns its Runner,
+// its seed, and the memory its hooks write to, the sweep's output is
+// byte-identical at any worker count. A non-nil error joins every job
+// failure; the per-job Result.Err fields pinpoint them.
+func Sweep(jobs []Job, opt Options) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	workers := opt.workerCount()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			results[i] = runJob(&jobs[i])
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i] = runJob(&jobs[i])
+				}
+			}()
+		}
+		for i := range jobs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	var errs []error
+	for i := range results {
+		if results[i].Err != nil {
+			errs = append(errs, fmt.Errorf("job %q: %w", results[i].Name, results[i].Err))
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// Run executes a single job synchronously — the CLI entry points that run
+// one configuration use it so single runs and sweeps share one code path.
+func Run(job Job) Result { return runJob(&job) }
+
+func runJob(job *Job) Result {
+	res := Result{Name: job.Name, Seed: job.Seed}
+	if job.New == nil {
+		res.Err = fmt.Errorf("harness: job has no Runner factory")
+		return res
+	}
+	r, err := job.New(job.Seed)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	events := job.Events
+	if !sort.SliceIsSorted(events, func(i, j int) bool { return events[i].At < events[j].At }) {
+		events = append([]Event(nil), events...)
+		sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	}
+	next := 0
+	for t := 0; t < job.Periods; t++ {
+		for next < len(events) && events[next].At <= t {
+			n, err := r.Perturb(events[next].P)
+			if err != nil {
+				res.Err = fmt.Errorf("harness: period %d %s: %w", t, events[next].P.Kind, err)
+				return res
+			}
+			switch events[next].P.Kind {
+			case Kill, KillFraction:
+				res.Killed += n
+			}
+			next++
+		}
+		if job.BeforeStep != nil {
+			job.BeforeStep(r, t)
+		}
+		r.Step()
+		if job.AfterStep != nil {
+			job.AfterStep(r, t)
+		}
+	}
+	if res.Err == nil {
+		if ea, ok := r.(interface{ Err() error }); ok && ea.Err() != nil {
+			res.Err = ea.Err()
+			return res
+		}
+	}
+	if job.Done != nil {
+		if err := job.Done(r); err != nil {
+			res.Err = err
+		}
+	}
+	return res
+}

@@ -24,6 +24,7 @@ import (
 	"math"
 
 	"odeproto/internal/core"
+	"odeproto/internal/harness"
 	"odeproto/internal/ode"
 	"odeproto/internal/rewrite"
 	"odeproto/internal/sim"
@@ -95,6 +96,9 @@ type Run struct {
 	X     []float64 // processes proposing x
 	Y     []float64
 	Z     []float64 // undecided
+	// FinalX and FinalY are the populations after the last period
+	// (available even when SampleEvery skips the final period).
+	FinalX, FinalY int
 	// ConvergedAt is the first period where one proposal holds every
 	// alive process, or -1 if the run ended first.
 	ConvergedAt int
@@ -118,56 +122,111 @@ type Config struct {
 	Seed        int64
 }
 
-// Simulate runs the LV protocol from the given split and records the
-// population series.
-func Simulate(cfg Config) (*Run, error) {
+// newRunJob builds the harness job for one LV execution together with the
+// Run record its hooks populate (Killed is filled in from the harness
+// result by the caller). Simulate wraps it for single runs; sweeps like
+// MajorityAccuracy fan many of these jobs out in parallel.
+func newRunJob(name string, cfg Config) (harness.Job, *Run, error) {
 	if cfg.InitialX+cfg.InitialY > cfg.N {
-		return nil, fmt.Errorf("lv: initial proposals exceed N")
+		return harness.Job{}, nil, fmt.Errorf("lv: initial proposals exceed N")
 	}
 	if cfg.SampleEvery < 1 {
 		cfg.SampleEvery = 1
 	}
 	proto, err := NewProtocol(cfg.P)
 	if err != nil {
-		return nil, err
+		return harness.Job{}, nil, err
 	}
-	e, err := sim.New(sim.Config{
-		N:        cfg.N,
-		Protocol: proto,
-		Initial: map[ode.Var]int{
-			ProposalX: cfg.InitialX,
-			ProposalY: cfg.InitialY,
-			Undecided: cfg.N - cfg.InitialX - cfg.InitialY,
-		},
+	run := &Run{ConvergedAt: -1}
+	var events []harness.Event
+	if cfg.FailAt >= 0 && cfg.FailFrac > 0 {
+		events = []harness.Event{
+			{At: cfg.FailAt, P: harness.Perturbation{Kind: harness.KillFraction, Frac: cfg.FailFrac}},
+		}
+	}
+	job := harness.Job{
+		Name: name,
 		Seed: cfg.Seed,
-	})
+		New: func(seed int64) (harness.Runner, error) {
+			return harness.NewAgent(sim.Config{
+				N:        cfg.N,
+				Protocol: proto,
+				Initial: map[ode.Var]int{
+					ProposalX: cfg.InitialX,
+					ProposalY: cfg.InitialY,
+					Undecided: cfg.N - cfg.InitialX - cfg.InitialY,
+				},
+				Seed: seed,
+			})
+		},
+		Periods: cfg.Periods,
+		Events:  events,
+		AfterStep: func(r harness.Runner, t int) {
+			if t%cfg.SampleEvery == 0 {
+				run.Times = append(run.Times, float64(t))
+				run.X = append(run.X, float64(r.Count(ProposalX)))
+				run.Y = append(run.Y, float64(r.Count(ProposalY)))
+				run.Z = append(run.Z, float64(r.Count(Undecided)))
+			}
+			if run.ConvergedAt < 0 {
+				switch r.Alive() {
+				case r.Count(ProposalX):
+					run.ConvergedAt = t
+					run.Winner = ProposalX
+				case r.Count(ProposalY):
+					run.ConvergedAt = t
+					run.Winner = ProposalY
+				}
+			}
+		},
+		Done: func(r harness.Runner) error {
+			run.FinalX = r.Count(ProposalX)
+			run.FinalY = r.Count(ProposalY)
+			return nil
+		},
+	}
+	return job, run, nil
+}
+
+// Simulate runs the LV protocol from the given split and records the
+// population series.
+func Simulate(cfg Config) (*Run, error) {
+	job, run, err := newRunJob("lv-run", cfg)
 	if err != nil {
 		return nil, err
 	}
-	run := &Run{ConvergedAt: -1}
-	for t := 0; t < cfg.Periods; t++ {
-		if cfg.FailAt >= 0 && t == cfg.FailAt && cfg.FailFrac > 0 {
-			run.Killed = e.KillFraction(cfg.FailFrac)
-		}
-		e.Step()
-		if t%cfg.SampleEvery == 0 {
-			run.Times = append(run.Times, float64(t))
-			run.X = append(run.X, float64(e.Count(ProposalX)))
-			run.Y = append(run.Y, float64(e.Count(ProposalY)))
-			run.Z = append(run.Z, float64(e.Count(Undecided)))
-		}
-		if run.ConvergedAt < 0 {
-			switch e.Alive() {
-			case e.Count(ProposalX):
-				run.ConvergedAt = t
-				run.Winner = ProposalX
-			case e.Count(ProposalY):
-				run.ConvergedAt = t
-				run.Winner = ProposalY
-			}
-		}
+	out := harness.Run(job)
+	if out.Err != nil {
+		return nil, out.Err
 	}
+	run.Killed = out.Killed
 	return run, nil
+}
+
+// SimulateMany runs independent elections of the same configuration, one
+// per seed, fanned out in parallel. Results are returned in seed order
+// regardless of the worker count.
+func SimulateMany(cfg Config, seeds []int64) ([]*Run, error) {
+	jobs := make([]harness.Job, len(seeds))
+	runs := make([]*Run, len(seeds))
+	for i, s := range seeds {
+		c := cfg
+		c.Seed = s
+		job, run, err := newRunJob(fmt.Sprintf("lv-seed%d", s), c)
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = job
+		runs[i] = run
+	}
+	out, err := harness.Sweep(jobs, harness.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for i := range runs {
+		runs[i].Killed = out[i].Killed
+	}
+	return runs, nil
 }
 
 // PhaseTrajectory is one (X(t), Y(t)) path of the Figure 4 phase portrait.
@@ -191,7 +250,8 @@ func Figure4InitialPoints() [][3]int {
 }
 
 // PhasePortrait simulates the LV protocol from each initial point,
-// recording (X, Y) — the paper's Figure 4.
+// recording (X, Y) — the paper's Figure 4. The initial points run in
+// parallel through the harness scheduler.
 func PhasePortrait(n int, p float64, initials [][3]int, periods, sampleEvery int, seed int64) ([]PhaseTrajectory, error) {
 	if sampleEvery < 1 {
 		sampleEvery = 1
@@ -200,29 +260,32 @@ func PhasePortrait(n int, p float64, initials [][3]int, periods, sampleEvery int
 	if err != nil {
 		return nil, err
 	}
-	out := make([]PhaseTrajectory, 0, len(initials))
+	out := make([]PhaseTrajectory, len(initials))
+	jobs := make([]harness.Job, len(initials))
 	for i, ic := range initials {
 		if ic[0]+ic[1]+ic[2] != n {
 			return nil, fmt.Errorf("lv: initial point %v does not sum to N = %d", ic, n)
 		}
-		e, err := sim.New(sim.Config{
-			N:        n,
-			Protocol: proto,
-			Initial:  map[ode.Var]int{ProposalX: ic[0], ProposalY: ic[1], Undecided: ic[2]},
-			Seed:     seed + int64(i)*7919,
-		})
-		if err != nil {
-			return nil, err
+		tr := &out[i]
+		tr.X0, tr.Y0, tr.Z0 = ic[0], ic[1], ic[2]
+		initial := map[ode.Var]int{ProposalX: ic[0], ProposalY: ic[1], Undecided: ic[2]}
+		jobs[i] = harness.Job{
+			Name: fmt.Sprintf("fig4-point%d", i),
+			Seed: seed + int64(i)*7919,
+			New: func(seed int64) (harness.Runner, error) {
+				return harness.NewAgent(sim.Config{N: n, Protocol: proto, Initial: initial, Seed: seed})
+			},
+			Periods: periods,
+			BeforeStep: func(r harness.Runner, t int) {
+				if t%sampleEvery == 0 {
+					tr.Xs = append(tr.Xs, float64(r.Count(ProposalX)))
+					tr.Ys = append(tr.Ys, float64(r.Count(ProposalY)))
+				}
+			},
 		}
-		tr := PhaseTrajectory{X0: ic[0], Y0: ic[1], Z0: ic[2]}
-		for t := 0; t < periods; t++ {
-			if t%sampleEvery == 0 {
-				tr.Xs = append(tr.Xs, float64(e.Count(ProposalX)))
-				tr.Ys = append(tr.Ys, float64(e.Count(ProposalY)))
-			}
-			e.Step()
-		}
-		out = append(out, tr)
+	}
+	if _, err := harness.Sweep(jobs, harness.Options{}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -250,33 +313,51 @@ func MajorityAccuracy(n int, marginsPct []int, trials, periods int, p float64, s
 	if trials < 1 {
 		return nil, fmt.Errorf("lv: trials must be positive")
 	}
-	out := make([]AccuracyPoint, 0, len(marginsPct))
+	// Fan the full margins × trials matrix out as one parallel sweep, then
+	// reduce per margin. Each cell keeps the historical per-trial seed, so
+	// accuracies are unchanged from the sequential implementation.
+	jobs := make([]harness.Job, 0, len(marginsPct)*trials)
+	runs := make([]*Run, 0, len(marginsPct)*trials)
 	for _, m := range marginsPct {
 		if m < 50 || m > 100 {
 			return nil, fmt.Errorf("lv: margin %d%% outside [50, 100]", m)
 		}
-		wins, converged := 0, 0
-		var convSum float64
 		for tr := 0; tr < trials; tr++ {
-			run, err := Simulate(Config{
+			job, run, err := newRunJob(fmt.Sprintf("margin%d-trial%d", m, tr), Config{
 				N:        n,
 				InitialX: n * m / 100,
 				InitialY: n - n*m/100,
 				P:        p,
 				Periods:  periods,
 				FailAt:   -1,
-				Seed:     seed + int64(tr)*9973 + int64(m)*31,
+				// The reduce below only reads convergence data and the
+				// final populations, so skip the per-period series rather
+				// than hold the full matrix of trials in memory at once.
+				SampleEvery: periods,
+				Seed:        seed + int64(tr)*9973 + int64(m)*31,
 			})
 			if err != nil {
 				return nil, err
 			}
+			jobs = append(jobs, job)
+			runs = append(runs, run)
+		}
+	}
+	if _, err := harness.Sweep(jobs, harness.Options{}); err != nil {
+		return nil, err
+	}
+	out := make([]AccuracyPoint, 0, len(marginsPct))
+	for mi, m := range marginsPct {
+		wins, converged := 0, 0
+		var convSum float64
+		for _, run := range runs[mi*trials : (mi+1)*trials] {
 			if run.ConvergedAt >= 0 {
 				converged++
 				convSum += float64(run.ConvergedAt)
 				if run.Winner == ProposalX {
 					wins++
 				}
-			} else if run.X[len(run.X)-1] > run.Y[len(run.Y)-1] {
+			} else if run.FinalX > run.FinalY {
 				// Count unconverged runs by their current leader.
 				wins++
 			}
