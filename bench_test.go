@@ -595,6 +595,41 @@ func BenchmarkEngineStep(b *testing.B) {
 	b.ReportMetric(float64(n), "procs")
 }
 
+// benchMillionStep measures agent-engine period throughput at one million
+// processes — 10× the paper's largest evaluation — for a given shard
+// count (one period per op).
+func benchMillionStep(b *testing.B, shards int) {
+	p := endemic.Params{B: 2, Gamma: 1e-3, Alpha: 1e-6}
+	proto, err := endemic.NewFigure1Protocol(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 1_000_000
+	e, err := sim.New(sim.Config{
+		N: n, Protocol: proto,
+		Initial: map[ode.Var]int{endemic.Receptive: n - 2000, endemic.Stash: 1000, endemic.Averse: 1000},
+		Seed:    1,
+		Shards:  shards,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	b.ReportMetric(float64(n), "procs")
+	b.ReportMetric(float64(shards), "shards")
+}
+
+// BenchmarkSerialStep1M is the single-stream baseline of the pair.
+func BenchmarkSerialStep1M(b *testing.B) { benchMillionStep(b, 1) }
+
+// BenchmarkShardedStep runs the same million-process period with 8 RNG
+// shards across the worker pool; on a 4+-core machine it should be ≥ 2×
+// the serial baseline.
+func BenchmarkShardedStep(b *testing.B) { benchMillionStep(b, 8) }
+
 // BenchmarkAggregateStep measures the count-based engine at the same
 // configuration — O(#actions) per period, independent of N.
 func BenchmarkAggregateStep(b *testing.B) {

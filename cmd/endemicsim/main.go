@@ -8,6 +8,7 @@
 //	endemicsim -n 100000 -b 2 -gamma 0.001 -alpha 0.000001 -periods 10000 -fail-at 5000 -fail-frac 0.5
 //	endemicsim -n 2000 -b 32 -gamma 0.1 -alpha 0.005 -churn -hours 170
 //	endemicsim -n 20000 -periods 1000 -fail-at 500 -seeds 8 -workers 4
+//	endemicsim -n 1000000 -periods 100 -shards 8
 package main
 
 import (
@@ -42,9 +43,11 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "random seed")
 		seeds    = flag.Int("seeds", 1, "replicate the run across this many derived seeds in parallel")
 		workers  = flag.Int("workers", 0, "sweep worker-pool size (0 = all cores)")
+		shards   = flag.Int("shards", 0, "agent-engine RNG shards K (0/1 = serial; fixed K is reproducible at any worker count)")
 	)
 	flag.Parse()
 	harness.SetDefaultWorkers(*workers)
+	harness.SetDefaultShards(*shards)
 	params := endemic.Params{B: *b, Gamma: *gamma, Alpha: *alpha}
 	if err := params.Validate(); err != nil {
 		return err
@@ -80,14 +83,12 @@ func run() error {
 		return nil
 	}
 
+	// A negative -fail-at is the no-failure sentinel understood by
+	// MassiveFailureConfig; -fail-at at or past -periods fails loudly.
 	cfg := endemic.MassiveFailureConfig{
 		N: *n, Params: params,
 		FailAt: *failAt, FailFrac: *failFrac,
 		Periods: *periods, RecordFrom: 0, Seed: *seed,
-	}
-	if *failAt < 0 {
-		cfg.FailAt = *periods + 1 // never
-		cfg.FailFrac = 0
 	}
 	if *seeds > 1 {
 		// Replicate across derived seeds, fanned out in parallel; print a

@@ -64,9 +64,11 @@ func main() {
 		quick   = flag.Bool("quick", false, "reduced scales for CI")
 		only    = flag.String("only", "", "comma-separated subset, e.g. fig5,fig11")
 		workers = flag.Int("workers", 0, "sweep worker-pool size (0 = all cores)")
+		shards  = flag.Int("shards", 0, "agent-engine RNG shards K (0/1 = serial; fixed K is reproducible at any worker count)")
 	)
 	flag.Parse()
 	harness.SetDefaultWorkers(*workers)
+	harness.SetDefaultShards(*shards)
 	want := map[string]bool{}
 	for _, n := range strings.Split(*only, ",") {
 		if n = strings.TrimSpace(n); n != "" {

@@ -8,6 +8,7 @@
 //	lvsim -n 100000 -x 60000 -y 40000 -periods 1000
 //	lvsim -n 100000 -x 60000 -y 40000 -fail-at 100 -fail-frac 0.5 -periods 1400
 //	lvsim -n 20000 -x 12000 -y 8000 -trials 16 -workers 4
+//	lvsim -n 1000000 -x 600000 -y 400000 -shards 8
 package main
 
 import (
@@ -39,9 +40,11 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "random seed")
 		trials   = flag.Int("trials", 1, "replicate the election across this many derived seeds in parallel")
 		workers  = flag.Int("workers", 0, "sweep worker-pool size (0 = all cores)")
+		shards   = flag.Int("shards", 0, "agent-engine RNG shards K (0/1 = serial; fixed K is reproducible at any worker count)")
 	)
 	flag.Parse()
 	harness.SetDefaultWorkers(*workers)
+	harness.SetDefaultShards(*shards)
 	cfg := lv.Config{
 		N: *n, InitialX: *x, InitialY: *y,
 		P: *pNorm, Periods: *periods,

@@ -58,10 +58,12 @@ func run(args []string) error {
 		seed      = fs.Int64("seed", 1, "simulation seed")
 		every     = fs.Int("every", 10, "print simulated counts every this many periods")
 		engine    = fs.String("engine", "agent", "simulation engine: agent (per-process) or aggregate (count-based)")
+		shards    = fs.Int("shards", 0, "agent-engine RNG shards K (0/1 = serial; fixed K is reproducible at any worker count)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	harness.SetDefaultShards(*shards)
 	if *file == "" {
 		fs.Usage()
 		return fmt.Errorf("missing -file")

@@ -259,6 +259,30 @@ func TestPhasePortraitSpiralsToEquilibrium(t *testing.T) {
 	}
 }
 
+// TestMassiveFailureHorizonSemantics: FailAt < 0 (or FailFrac 0) means no
+// failure; a nonnegative FailAt past the horizon is an error rather than
+// a silently dropped event.
+func TestMassiveFailureHorizonSemantics(t *testing.T) {
+	base := MassiveFailureConfig{
+		N:      400,
+		Params: Params{B: 2, Gamma: 0.1, Alpha: 0.01},
+		FailAt: -1, FailFrac: 0.5,
+		Periods: 20, RecordFrom: 0, Seed: 1,
+	}
+	res, err := RunMassiveFailure(base)
+	if err != nil {
+		t.Fatalf("no-failure sentinel rejected: %v", err)
+	}
+	if res.Killed != 0 {
+		t.Fatalf("no-failure run killed %d", res.Killed)
+	}
+	out := base
+	out.FailAt = 20 // == Periods: could never fire
+	if _, err := RunMassiveFailure(out); err == nil {
+		t.Fatal("out-of-horizon FailAt did not error")
+	}
+}
+
 func TestRunMassiveFailureStabilizes(t *testing.T) {
 	cfg := MassiveFailureConfig{
 		N:          20000,
@@ -273,8 +297,10 @@ func TestRunMassiveFailureStabilizes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Killed < 9000 || res.Killed > 11000 {
-		t.Fatalf("killed %d, want ≈ 10000", res.Killed)
+	// KillFraction rounds to nearest and kills exactly its target: all
+	// 20000 processes are alive at FailAt, so exactly half die.
+	if res.Killed != 10000 {
+		t.Fatalf("killed %d, want exactly 10000", res.Killed)
 	}
 	// Stash population must never hit zero (probabilistic safety).
 	for i, s := range res.Stash {

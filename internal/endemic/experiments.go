@@ -94,9 +94,12 @@ func PhasePortrait(p Params, initials []InitialCounts, periods int, sampleEvery 
 
 // MassiveFailureConfig configures the Figures 5/6 experiment.
 type MassiveFailureConfig struct {
-	N          int
-	Params     Params
-	FailAt     int     // period of the massive failure
+	N      int
+	Params Params
+	// FailAt is the period of the massive failure; negative disables it
+	// (as does FailFrac = 0). A nonnegative FailAt at or past Periods is
+	// an error — out-of-horizon events fail rather than vanish.
+	FailAt     int
 	FailFrac   float64 // fraction of hosts crashed (paper: 0.5)
 	Periods    int     // total periods simulated
 	RecordFrom int     // first period recorded in the series
@@ -160,7 +163,10 @@ func newMassiveFailureJob(name string, cfg MassiveFailureConfig) (harness.Job, *
 			res.Flux = append(res.Flux, float64(trans[[2]ode.Var{Receptive, Stash}]))
 		},
 	}
-	if cfg.FailAt < 0 || cfg.FailAt >= cfg.Periods || cfg.FailFrac == 0 {
+	// FailAt < 0 (or a zero fraction) is the no-failure sentinel, as in
+	// lv.Config. A nonnegative FailAt past the horizon is NOT stripped: it
+	// reaches the harness's event validation and fails the job loudly.
+	if cfg.FailAt < 0 || cfg.FailFrac == 0 {
 		job.Events = nil
 	}
 	return job, res, nil

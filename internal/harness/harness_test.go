@@ -184,6 +184,86 @@ func TestSweepAppliesEventsInOrder(t *testing.T) {
 	}
 }
 
+// TestSweepRejectsOutOfHorizonEvents: an event scheduled at or past the
+// job horizon could never fire — before the fix it was silently dropped
+// and Result.Killed undercounted; now the job fails loudly.
+func TestSweepRejectsOutOfHorizonEvents(t *testing.T) {
+	proto := figure1Protocol(t)
+	mkJob := func(at int) harness.Job {
+		return harness.Job{
+			Name: fmt.Sprintf("event-at-%d", at),
+			Seed: 1,
+			New: func(seed int64) (harness.Runner, error) {
+				return harness.NewAgent(sim.Config{
+					N: 100, Protocol: proto,
+					Initial: map[ode.Var]int{endemic.Receptive: 99, endemic.Stash: 1, endemic.Averse: 0},
+					Seed:    seed,
+				})
+			},
+			Periods: 10,
+			Events: []harness.Event{
+				{At: at, P: harness.Perturbation{Kind: harness.KillFraction, Frac: 0.5}},
+			},
+		}
+	}
+	for _, at := range []int{10, 11, -1} {
+		res := harness.Run(mkJob(at))
+		if res.Err == nil {
+			t.Errorf("event at period %d of a 10-period job did not fail", at)
+		}
+		if res.Killed != 0 {
+			t.Errorf("event at period %d reported %d killed", at, res.Killed)
+		}
+	}
+	// The last in-horizon period still works, and the kill is counted.
+	if res := harness.Run(mkJob(9)); res.Err != nil || res.Killed != 50 {
+		t.Fatalf("event at period 9 = (killed %d, %v), want (50, nil)", res.Killed, res.Err)
+	}
+}
+
+// TestSetDefaultShards: the process-wide shard default reaches engines
+// built through the factory path, changes the stream (K is part of the RNG
+// contract), and is clamped to N for small groups.
+func TestSetDefaultShards(t *testing.T) {
+	proto := figure1Protocol(t)
+	trajectory := func() []int {
+		r, err := harness.NewAgent(sim.Config{
+			N: 400, Protocol: proto,
+			Initial: map[ode.Var]int{endemic.Receptive: 360, endemic.Stash: 40, endemic.Averse: 0},
+			Seed:    5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []int
+		for i := 0; i < 30; i++ {
+			r.Step()
+			out = append(out, r.Count(endemic.Stash))
+		}
+		return out
+	}
+	serial := trajectory()
+	harness.SetDefaultShards(4)
+	defer harness.SetDefaultShards(0)
+	shardedA := trajectory()
+	shardedB := trajectory()
+	if !reflect.DeepEqual(shardedA, shardedB) {
+		t.Fatal("sharded default is not reproducible")
+	}
+	if reflect.DeepEqual(serial, shardedA) {
+		t.Fatal("shard default had no effect (K=4 stream should differ from serial)")
+	}
+	// A default above N must clamp rather than fail engine validation.
+	harness.SetDefaultShards(1 << 20)
+	if _, err := harness.NewAgent(sim.Config{
+		N: 50, Protocol: proto,
+		Initial: map[ode.Var]int{endemic.Receptive: 49, endemic.Stash: 1, endemic.Averse: 0},
+		Seed:    5,
+	}); err != nil {
+		t.Fatalf("oversized shard default not clamped: %v", err)
+	}
+}
+
 func TestSweepPropagatesErrors(t *testing.T) {
 	jobs := []harness.Job{
 		{

@@ -13,6 +13,10 @@ import (
 // after period At's observation hooks of the previous period have run and
 // before period At's Step — matching the paper's experiment descriptions
 // ("at time t, half the hosts crash").
+//
+// At must lie in [0, Periods). An event scheduled at or past the horizon
+// could never fire; rather than drop it silently (which would undercount
+// Result.Killed), the job fails with an error.
 type Event struct {
 	At int
 	P  Perturbation
@@ -144,6 +148,16 @@ func runJob(job *Job) Result {
 	if job.New == nil {
 		res.Err = fmt.Errorf("harness: job has no Runner factory")
 		return res
+	}
+	// Reject out-of-horizon events up front: an event with At >= Periods
+	// (or At < 0) would never be applied, silently distorting the
+	// experiment it was scheduled for.
+	for i := range job.Events {
+		if at := job.Events[i].At; at < 0 || at >= job.Periods {
+			res.Err = fmt.Errorf("harness: event %d (%s at period %d) outside the job horizon [0, %d)",
+				i, job.Events[i].P.Kind, at, job.Periods)
+			return res
+		}
 	}
 	r, err := job.New(job.Seed)
 	if err != nil {

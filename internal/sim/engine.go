@@ -1,7 +1,9 @@
 // Package sim provides the simulation substrate the paper's evaluation
 // (§5) runs on: an agent-based synchronous-round engine that executes a
-// compiled protocol over N simulated processes (up to the paper's 100,000
-// hosts), and a fast aggregate (count-based) engine for large sweeps.
+// compiled protocol over N simulated processes (the paper tops out at
+// 100,000 hosts; the sharded execution path in shard.go takes the same
+// engine to millions), and a fast aggregate (count-based) engine for
+// large sweeps.
 //
 // The agent engine reproduces the paper's experimental environment —
 // "multiple instances running synchronously over a simulated network, all
@@ -14,6 +16,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"odeproto/internal/core"
@@ -55,6 +58,19 @@ type Config struct {
 	// O(log N) exercises exactly that reduction (see the view-size
 	// ablation bench). Zero keeps full membership.
 	ViewSize int
+	// Shards partitions the N processes into this many contiguous shards,
+	// each with its own deterministically derived Mersenne Twister stream,
+	// and runs every period's action phase in parallel across the shards.
+	// Results depend only on (Seed, Shards), never on the worker count or
+	// scheduling, so a fixed K is reproducible on any machine. 0 and 1 both
+	// select the original single-stream serial engine, bit-identical to the
+	// pre-sharding implementation. See shard.go for the barrier semantics
+	// of cross-shard pushes and tokens at K > 1.
+	Shards int
+	// ShardWorkers bounds the worker pool that executes the shards when
+	// Shards > 1; 0 picks min(Shards, GOMAXPROCS). It is a throughput knob
+	// only — the output is byte-identical at any value.
+	ShardWorkers int
 	// OnTransition, when non-nil, is invoked for every state transition
 	// with the process index, the states involved, and the period number.
 	// Crash/revive events are not transitions.
@@ -96,6 +112,11 @@ type Engine struct {
 	// actions (they still answer contacts). Models the paper's
 	// "chronically averse" heterogeneous hosts (§5.1).
 	frozen []bool
+
+	// Sharded execution state (Config.Shards > 1); see shard.go.
+	shards       []shardState
+	barrierRng   *rand.Rand // resolves cross-shard intents at the barrier
+	shardWorkers int
 }
 
 type compiledAction struct {
@@ -186,6 +207,13 @@ func New(cfg Config) (*Engine, error) {
 	e.tokenPool = make([][]int, len(e.states))
 	e.tokenCursor = make([]int, len(e.states))
 	e.tokenBuilt = make([]bool, len(e.states))
+
+	if cfg.Shards < 0 || cfg.Shards > cfg.N {
+		return nil, fmt.Errorf("sim: shard count %d outside [0, N = %d]", cfg.Shards, cfg.N)
+	}
+	if cfg.Shards > 1 {
+		e.initShards()
+	}
 
 	if cfg.ViewSize > 0 {
 		if cfg.ViewSize >= cfg.N {
@@ -316,10 +344,12 @@ func (e *Engine) Kill(p int) {
 }
 
 // KillFraction crash-stops a uniformly random fraction of the alive
-// processes (the paper's massive-failure experiments kill 50%). It returns
-// the number killed.
+// processes (the paper's massive-failure experiments kill 50%). The target
+// count is frac·alive rounded to nearest (killing 50% of 101 alive
+// processes kills 51, where truncation would under-kill with 50) and the
+// exact number killed is returned.
 func (e *Engine) KillFraction(frac float64) int {
-	target := int(frac * float64(e.alive))
+	target := int(math.Round(frac * float64(e.alive)))
 	killed := 0
 	// Reservoir-style: walk alive processes, kill with adjusted probability.
 	remaining := e.alive
@@ -411,15 +441,17 @@ func (e *Engine) transition(p int, from, to int16) {
 }
 
 // deliverToken routes a token targeting state `from`; on success some
-// process in that state transitions to `to`.
-func (e *Engine) deliverToken(from, to int16) {
+// process in that state transitions to `to`. All randomness is drawn from
+// rng — the serial engine passes its main stream, the sharded barrier its
+// dedicated barrier stream.
+func (e *Engine) deliverToken(rng *rand.Rand, from, to int16) {
 	if e.cfg.TokenTTL > 0 {
 		// Random-walk delivery: hop until a matching process is found or
 		// the TTL expires. Each hop is a connection attempt.
 		for ttl := e.cfg.TokenTTL; ttl > 0; ttl-- {
 			e.messages++
-			t := e.rng.Intn(e.cfg.N)
-			if e.cfg.MessageLoss > 0 && e.rng.Float64() < e.cfg.MessageLoss {
+			t := rng.Intn(e.cfg.N)
+			if e.cfg.MessageLoss > 0 && rng.Float64() < e.cfg.MessageLoss {
 				continue
 			}
 			if e.state[t] == from && !e.moved[t] && !e.frozen[t] {
@@ -442,7 +474,7 @@ func (e *Engine) deliverToken(from, to int16) {
 				pool = append(pool, p)
 			}
 		}
-		e.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
 		e.tokenPool[from] = pool
 		e.tokenCursor[from] = 0
 		e.tokenBuilt[from] = true
@@ -451,7 +483,11 @@ func (e *Engine) deliverToken(from, to int16) {
 	for e.tokenCursor[from] < len(pool) {
 		p := pool[e.tokenCursor[from]]
 		e.tokenCursor[from]++
-		if e.state[p] == from && !e.moved[p] {
+		// Re-check eligibility at consume time with exactly the conditions
+		// the pool was built with: a process frozen after the pool was
+		// built (e.g. by an OnTransition hook mid-period) must not be moved
+		// by a token, just as a process that moved since cannot be.
+		if e.state[p] == from && !e.moved[p] && !e.frozen[p] {
 			e.transition(p, from, to)
 			return
 		}
@@ -465,7 +501,15 @@ func (e *Engine) deliverToken(from, to int16) {
 // analysis assumption that variables change continuously on period scale).
 // A process transitions at most once per period; the first firing action
 // wins.
+//
+// With Config.Shards > 1 the period runs on the sharded parallel path
+// (stepSharded in shard.go); otherwise the original single-stream serial
+// loop below runs, bit-identical to the pre-sharding engine.
 func (e *Engine) Step() {
+	if len(e.shards) > 1 {
+		e.stepSharded()
+		return
+	}
 	copy(e.snapshot, e.state)
 	for k := range e.transitions {
 		delete(e.transitions, k)
@@ -537,7 +581,7 @@ func (e *Engine) Step() {
 					}
 				}
 				if ok && e.rng.Float64() < a.coin {
-					e.deliverToken(a.from, a.to)
+					e.deliverToken(e.rng, a.from, a.to)
 				}
 			}
 		}

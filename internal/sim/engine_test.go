@@ -218,6 +218,43 @@ func TestKillFraction(t *testing.T) {
 	}
 }
 
+// TestKillFractionRoundsToNearest: the kill target is frac·alive rounded
+// to nearest, not truncated — with 101 alive, "kill 50%" kills 51, as the
+// figure captions imply, instead of the 50 truncation produced.
+func TestKillFractionRoundsToNearest(t *testing.T) {
+	mk := func(n int) *Engine {
+		e, err := New(Config{
+			N:        n,
+			Protocol: epidemicProto(t),
+			Initial:  map[ode.Var]int{"x": n, "y": 0},
+			Seed:     3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	cases := []struct {
+		alive  int
+		frac   float64
+		killed int
+	}{
+		{101, 0.5, 51},
+		{100, 0.5, 50},
+		{999, 0.1, 100}, // 99.9 rounds up
+		{1001, 0.1, 100},
+		{3, 0.5, 2}, // 1.5 rounds away from zero
+	}
+	for _, tc := range cases {
+		e := mk(tc.alive)
+		if got := e.KillFraction(tc.frac); got != tc.killed {
+			t.Errorf("KillFraction(%v) of %d alive killed %d, want %d", tc.frac, tc.alive, got, tc.killed)
+		} else if e.Alive() != tc.alive-tc.killed {
+			t.Errorf("alive = %d after killing %d of %d", e.Alive(), tc.killed, tc.alive)
+		}
+	}
+}
+
 func TestKillAndReviveRoundTrip(t *testing.T) {
 	e, err := New(Config{
 		N:        100,
@@ -397,6 +434,54 @@ func TestTokenDroppedWithoutTargets(t *testing.T) {
 	}
 	if e.Count("y") != n {
 		t.Fatalf("counts changed despite empty target: %v", e.Counts())
+	}
+}
+
+// TestTokenCannotMoveFrozenProcess: directed delivery filters frozen
+// processes when the per-period candidate pool is built AND when the pool
+// is consumed. A process frozen after the pool was built — here by an
+// OnTransition hook firing mid-period — must not be moved by later tokens
+// of the same period.
+func TestTokenCannotMoveFrozenProcess(t *testing.T) {
+	const n = 2000
+	proto := mustTranslate(t, "x' = -y^2\ny' = y^2", nil, core.Options{})
+	var e *Engine
+	var frozen []int
+	froze := false
+	cfg := Config{
+		N:        n,
+		Protocol: proto,
+		Initial:  map[ode.Var]int{"x": n / 2, "y": n / 2},
+		Seed:     37,
+		OnTransition: func(proc int, from, to ode.Var, period int) {
+			if froze {
+				return
+			}
+			// First token of the period landed (and built the candidate
+			// pool); freeze everything still in x so the stale pool is full
+			// of now-frozen processes.
+			froze = true
+			for p := 0; p < n; p++ {
+				if e.StateOf(p) == "x" && p != proc {
+					e.Freeze(p)
+					frozen = append(frozen, p)
+				}
+			}
+		},
+	}
+	var err error
+	e, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Step()
+	if !froze {
+		t.Fatal("no token delivered; the scenario never armed")
+	}
+	for _, p := range frozen {
+		if e.StateOf(p) != "x" {
+			t.Fatalf("token moved frozen process %d to %q", p, e.StateOf(p))
+		}
 	}
 }
 
