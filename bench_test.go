@@ -6,9 +6,14 @@
 package odeproto_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"testing"
+	"time"
 
 	"odeproto/internal/churn"
 	"odeproto/internal/core"
@@ -18,6 +23,7 @@ import (
 	"odeproto/internal/lv"
 	"odeproto/internal/ode"
 	"odeproto/internal/replica"
+	"odeproto/internal/service"
 	"odeproto/internal/sim"
 	"odeproto/internal/solver"
 )
@@ -339,6 +345,93 @@ func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
 
 // BenchmarkSweepParallel lets the harness use every core.
 func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
+// --- service benchmarks ---
+
+// benchServiceSpec builds the job body the service benchmarks POST: a
+// tiny epidemic sweep whose seed the cache-miss benchmark varies.
+func benchServiceSpec(seed int64) []byte {
+	body, err := json.Marshal(map[string]any{
+		"source":  "x' = -x*y\ny' = x*y",
+		"n":       300,
+		"initial": map[string]int{"x": 290, "y": 10},
+		"periods": 20,
+		"seed":    seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return body
+}
+
+// postServiceJob drives one POST /v1/jobs through the HTTP handler and,
+// when the response is not already terminal (a cache miss), polls
+// GET /v1/jobs/{id} until the job is done.
+func postServiceJob(b *testing.B, handler http.Handler, body []byte) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK && rec.Code != http.StatusAccepted {
+		b.Fatalf("submit: %d %s", rec.Code, rec.Body.String())
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		b.Fatal(err)
+	}
+	for st.Status == service.StatusQueued || st.Status == service.StatusRunning {
+		time.Sleep(100 * time.Microsecond)
+		req := httptest.NewRequest(http.MethodGet, "/v1/jobs/"+st.ID, nil)
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("poll: %d %s", rec.Code, rec.Body.String())
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if st.Status != service.StatusDone {
+		b.Fatalf("job finished %s: %s", st.Status, st.Error)
+	}
+}
+
+// BenchmarkServiceCacheHit measures request throughput through the HTTP
+// handler when every POST is answered from the content-addressed result
+// cache (the steady state of a service absorbing duplicate requests).
+func BenchmarkServiceCacheHit(b *testing.B) {
+	srv := service.New(service.Config{Workers: 1})
+	defer srv.Close()
+	handler := srv.Handler()
+	body := benchServiceSpec(1)
+	postServiceJob(b, handler, body) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postServiceJob(b, handler, body)
+	}
+	b.StopTimer()
+	if hits := srv.SweepsExecuted(); hits != 1 {
+		b.Fatalf("cache-hit benchmark executed %d sweeps, want 1", hits)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServiceCacheMiss measures the full compile-enqueue-simulate
+// path: every POST carries a fresh seed, so every request runs a sweep.
+func BenchmarkServiceCacheMiss(b *testing.B) {
+	srv := service.New(service.Config{Workers: 1})
+	defer srv.Close()
+	handler := srv.Handler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postServiceJob(b, handler, benchServiceSpec(int64(i+1)))
+	}
+	b.StopTimer()
+	if n := srv.SweepsExecuted(); n != int64(b.N) {
+		b.Fatalf("cache-miss benchmark executed %d sweeps for %d requests", n, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
 
 // --- ablation and substrate benchmarks ---
 

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,30 +23,36 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "endemicsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string) error {
+	fs := flag.NewFlagSet("endemicsim", flag.ContinueOnError)
 	var (
-		n        = flag.Int("n", 100000, "group size")
-		b        = flag.Int("b", 2, "contact fan-out b (β = 2b)")
-		gamma    = flag.Float64("gamma", 1e-3, "recovery rate γ")
-		alpha    = flag.Float64("alpha", 1e-6, "susceptibility rate α")
-		periods  = flag.Int("periods", 10000, "protocol periods to run")
-		failAt   = flag.Int("fail-at", -1, "period of a massive failure (-1 = none)")
-		failFrac = flag.Float64("fail-frac", 0.5, "fraction killed in the massive failure")
-		churnOn  = flag.Bool("churn", false, "drive the run with an Overnet-calibrated churn trace")
-		hours    = flag.Float64("hours", 170, "churn trace length in hours (10 periods/hour)")
-		every    = flag.Int("every", 100, "print a sample every this many periods")
-		seed     = flag.Int64("seed", 1, "random seed")
-		seeds    = flag.Int("seeds", 1, "replicate the run across this many derived seeds in parallel")
-		workers  = flag.Int("workers", 0, "sweep worker-pool size (0 = all cores)")
-		shards   = flag.Int("shards", 0, "agent-engine RNG shards K (0/1 = serial; fixed K is reproducible at any worker count)")
+		n        = fs.Int("n", 100000, "group size")
+		b        = fs.Int("b", 2, "contact fan-out b (β = 2b)")
+		gamma    = fs.Float64("gamma", 1e-3, "recovery rate γ")
+		alpha    = fs.Float64("alpha", 1e-6, "susceptibility rate α")
+		periods  = fs.Int("periods", 10000, "protocol periods to run")
+		failAt   = fs.Int("fail-at", -1, "period of a massive failure (-1 = none)")
+		failFrac = fs.Float64("fail-frac", 0.5, "fraction killed in the massive failure")
+		churnOn  = fs.Bool("churn", false, "drive the run with an Overnet-calibrated churn trace")
+		hours    = fs.Float64("hours", 170, "churn trace length in hours (10 periods/hour)")
+		every    = fs.Int("every", 100, "print a sample every this many periods")
+		seed     = fs.Int64("seed", 1, "random seed")
+		seeds    = fs.Int("seeds", 1, "replicate the run across this many derived seeds in parallel")
+		workers  = fs.Int("workers", 0, "sweep worker-pool size (0 = all cores)")
+		shards   = fs.Int("shards", 0, "agent-engine RNG shards K (0/1 = serial; fixed K is reproducible at any worker count)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; exit 0 like the old flag.Parse behavior
+		}
+		return err
+	}
 	harness.SetDefaultWorkers(*workers)
 	harness.SetDefaultShards(*shards)
 	params := endemic.Params{B: *b, Gamma: *gamma, Alpha: *alpha}

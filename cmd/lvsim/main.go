@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,28 +22,34 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "lvsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string) error {
+	fs := flag.NewFlagSet("lvsim", flag.ContinueOnError)
 	var (
-		n        = flag.Int("n", 100000, "group size")
-		x        = flag.Int("x", 60000, "initial processes proposing x")
-		y        = flag.Int("y", 40000, "initial processes proposing y")
-		pNorm    = flag.Float64("p", lv.DefaultP, "normalizing constant p (coin = 3p)")
-		periods  = flag.Int("periods", 1000, "protocol periods to run")
-		failAt   = flag.Int("fail-at", -1, "period of a massive failure (-1 = none)")
-		failFrac = flag.Float64("fail-frac", 0.5, "fraction killed")
-		every    = flag.Int("every", 25, "print a sample every this many periods")
-		seed     = flag.Int64("seed", 1, "random seed")
-		trials   = flag.Int("trials", 1, "replicate the election across this many derived seeds in parallel")
-		workers  = flag.Int("workers", 0, "sweep worker-pool size (0 = all cores)")
-		shards   = flag.Int("shards", 0, "agent-engine RNG shards K (0/1 = serial; fixed K is reproducible at any worker count)")
+		n        = fs.Int("n", 100000, "group size")
+		x        = fs.Int("x", 60000, "initial processes proposing x")
+		y        = fs.Int("y", 40000, "initial processes proposing y")
+		pNorm    = fs.Float64("p", lv.DefaultP, "normalizing constant p (coin = 3p)")
+		periods  = fs.Int("periods", 1000, "protocol periods to run")
+		failAt   = fs.Int("fail-at", -1, "period of a massive failure (-1 = none)")
+		failFrac = fs.Float64("fail-frac", 0.5, "fraction killed")
+		every    = fs.Int("every", 25, "print a sample every this many periods")
+		seed     = fs.Int64("seed", 1, "random seed")
+		trials   = fs.Int("trials", 1, "replicate the election across this many derived seeds in parallel")
+		workers  = fs.Int("workers", 0, "sweep worker-pool size (0 = all cores)")
+		shards   = fs.Int("shards", 0, "agent-engine RNG shards K (0/1 = serial; fixed K is reproducible at any worker count)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; exit 0 like the old flag.Parse behavior
+		}
+		return err
+	}
 	harness.SetDefaultWorkers(*workers)
 	harness.SetDefaultShards(*shards)
 	cfg := lv.Config{

@@ -1,0 +1,107 @@
+// Command odeprotod serves the full paper pipeline — parse ODEs, rewrite
+// to mappable form (§7), translate to a distributed protocol (§3/§6), and
+// simulate at scale (§5) — as a long-running HTTP/JSON daemon with a
+// bounded job queue, a worker pool, and a content-addressed result cache
+// (see internal/service).
+//
+// Usage:
+//
+//	odeprotod -addr :8080
+//	odeprotod -addr 127.0.0.1:9090 -workers 4 -queue 128 -cache 512
+//
+// Quick tour (see README.md "Running the service" for the full schema):
+//
+//	curl -s localhost:8080/v1/healthz
+//	curl -s localhost:8080/v1/compile -d '{"source": "x'"'"' = -x*y\ny'"'"' = x*y"}'
+//	curl -s localhost:8080/v1/jobs -d '{"source": "x'"'"' = -x*y\ny'"'"' = x*y", "n": 10000, "periods": 50}'
+//	curl -s localhost:8080/v1/jobs/j000001
+//	curl -s localhost:8080/v1/jobs/j000001/stream
+//	curl -s localhost:8080/v1/jobs/j000001/figure.svg
+//	curl -s localhost:8080/v1/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"odeproto/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "odeprotod:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until the context is cancelled or the
+// listener fails. When ready is non-nil, the bound address is sent on it
+// once the server is accepting connections (the end-to-end tests listen
+// on 127.0.0.1:0 and need the resolved port).
+func run(ctx context.Context, args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("odeprotod", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "HTTP listen address")
+		workers      = fs.Int("workers", 2, "jobs simulated concurrently")
+		queue        = fs.Int("queue", 64, "bounded job-queue depth (full queue = 503)")
+		cacheSize    = fs.Int("cache", 256, "content-addressed result cache capacity (results, LRU)")
+		sweepWorkers = fs.Int("sweep-workers", 0, "harness worker-pool size per job sweep (0 = all cores)")
+		maxN         = fs.Int("max-n", 0, "per-job group-size limit (0 = service default)")
+		maxPeriods   = fs.Int("max-periods", 0, "per-job period limit (0 = service default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; exit 0 like the old flag.Parse behavior
+		}
+		return err
+	}
+
+	srv := service.New(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheSize:    *cacheSize,
+		SweepWorkers: *sweepWorkers,
+		Limits:       service.Limits{MaxN: *maxN, MaxPeriods: *maxPeriods},
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	log.Printf("odeprotod: serving on %s (%d workers, queue %d, cache %d)",
+		ln.Addr(), *workers, *queue, *cacheSize)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		// Cancel in-flight jobs first so open /stream responses terminate,
+		// then drain the HTTP server.
+		srv.Close()
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shCtx); err != nil {
+			return err
+		}
+		log.Printf("odeprotod: shut down")
+		return nil
+	}
+}

@@ -1,0 +1,334 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"odeproto/internal/core"
+	"odeproto/internal/harness"
+	"odeproto/internal/ode"
+	"odeproto/internal/rewrite"
+	"odeproto/internal/service"
+	"odeproto/internal/sim"
+)
+
+// lvSource is the paper's Lotka–Volterra system (6), the majority-
+// selection case study; it is outside the mappable class until the §7
+// rewrite completes, homogenizes, and splits it into system (7).
+const lvSource = "x' = 3*x - 3*x^2 - 6*x*y\ny' = 3*y - 3*y^2 - 6*x*y\n"
+
+// startDaemon boots odeprotod on a random port and returns its base URL.
+func startDaemon(t *testing.T, args ...string) string {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), ready) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Errorf("daemon shutdown: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Error("daemon did not shut down")
+		}
+	})
+	return "http://" + addr
+}
+
+func postJSON(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		if err := json.Unmarshal(data, v); err != nil {
+			t.Fatalf("bad body %q: %v", data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func pollDone(t *testing.T, base, id string, timeout time.Duration) service.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		var st service.JobStatus
+		if code := getJSON(t, base+"/v1/jobs/"+id, &st); code != http.StatusOK {
+			t.Fatalf("GET job %s: %d", id, code)
+		}
+		switch st.Status {
+		case service.StatusDone:
+			return st
+		case service.StatusFailed, service.StatusCancelled:
+			t.Fatalf("job %s terminated %s: %s", id, st.Status, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", id, st.Status, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServiceEndToEnd is the acceptance test of the odeprotod subsystem:
+// boot the daemon on a random port, POST the paper's Lotka–Volterra
+// source as a sharded sweep, poll the job to completion, check the
+// returned per-period counts byte-identical against a direct
+// harness.Sweep run with the same seed and shard count, and verify an
+// identical second POST is answered from the content-addressed cache
+// without executing a new sweep.
+func TestServiceEndToEnd(t *testing.T) {
+	base := startDaemon(t, "-workers", "1")
+
+	const (
+		n       = 2000
+		periods = 80
+		seed    = 7
+		shards  = 4
+		pNorm   = 0.01
+	)
+	spec := map[string]any{
+		"source":  lvSource,
+		"p":       pNorm,
+		"engine":  "sharded",
+		"shards":  shards,
+		"n":       n,
+		"initial": map[string]int{"x": 1200, "y": 800},
+		"periods": periods,
+		"seed":    seed,
+	}
+
+	code, body := postJSON(t, base+"/v1/jobs", spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	done := pollDone(t, base, st.ID, 2*time.Minute)
+	if done.Cached {
+		t.Fatal("first run claims to be cached")
+	}
+	if done.Result == nil || len(done.Result.Runs) != 1 {
+		t.Fatalf("unexpected result shape: %+v", done.Result)
+	}
+	serviceRun := done.Result.Runs[0]
+	if len(serviceRun.Rows) != periods {
+		t.Fatalf("service recorded %d rows, want %d", len(serviceRun.Rows), periods)
+	}
+
+	// Reproduce the run directly through the library: same compile
+	// pipeline, same seed, same shard count, same recording rule.
+	sys, err := ode.Parse(lvSource, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mappable, err := rewrite.MakeMappable(sys, "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := core.Translate(mappable, core.Options{P: pNorm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := proto.States
+	if len(states) != len(done.Result.States) {
+		t.Fatalf("service states %v vs direct %v", done.Result.States, states)
+	}
+	for i, s := range states {
+		if done.Result.States[i] != string(s) {
+			t.Fatalf("service states %v vs direct %v", done.Result.States, states)
+		}
+	}
+
+	var direct []service.PeriodRow
+	results, err := harness.Sweep([]harness.Job{{
+		Name: "direct-lv",
+		Seed: seed,
+		New: func(jobSeed int64) (harness.Runner, error) {
+			return harness.NewAgent(sim.Config{
+				N: n, Protocol: proto,
+				Initial: map[ode.Var]int{"x": 1200, "y": 800},
+				Seed:    jobSeed, Shards: shards,
+			})
+		},
+		Periods: periods,
+		AfterStep: func(r harness.Runner, period int) {
+			row := service.PeriodRow{Period: period, Counts: make([]int, len(states))}
+			for i, s := range states {
+				row.Counts[i] = r.Count(s)
+			}
+			direct = append(direct, row)
+		},
+	}}, harness.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Killed != serviceRun.Killed {
+		t.Fatalf("killed: service %d vs direct %d", serviceRun.Killed, results[0].Killed)
+	}
+
+	serviceJSON, err := json.Marshal(serviceRun.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directJSON, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serviceJSON, directJSON) {
+		t.Fatalf("service trajectory diverges from the direct harness.Sweep run:\nservice: %.200s\ndirect:  %.200s",
+			serviceJSON, directJSON)
+	}
+
+	// The identical second POST must be a pure cache hit: answered done
+	// on arrival, same bytes, and the sweep run counter stays at 1.
+	var stats service.Stats
+	if code := getJSON(t, base+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if stats.SweepsExecuted != 1 {
+		t.Fatalf("sweeps executed before the duplicate POST: %d, want 1", stats.SweepsExecuted)
+	}
+
+	code, body = postJSON(t, base+"/v1/jobs", spec)
+	if code != http.StatusOK {
+		t.Fatalf("duplicate submit: %d %s", code, body)
+	}
+	var st2 service.JobStatus
+	if err := json.Unmarshal(body, &st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Status != service.StatusDone || !st2.Cached {
+		t.Fatalf("duplicate POST not served from cache: %+v", st2)
+	}
+	if st2.CacheKey != done.CacheKey {
+		t.Fatal("duplicate POST produced a different cache key")
+	}
+	cached := pollDone(t, base, st2.ID, 10*time.Second)
+	cachedJSON, err := json.Marshal(cached.Result.Runs[0].Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cachedJSON, serviceJSON) {
+		t.Fatal("cached result bytes differ from the original result")
+	}
+
+	if code := getJSON(t, base+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if stats.SweepsExecuted != 1 {
+		t.Fatalf("duplicate POST executed a sweep (counter %d)", stats.SweepsExecuted)
+	}
+	if stats.Cache.Hits < 1 {
+		t.Fatalf("cache reported no hits: %+v", stats.Cache)
+	}
+}
+
+// TestDaemonCompileAndFigure exercises the remaining endpoints through a
+// real TCP round trip: compile, figure rendering, and stats.
+func TestDaemonCompileAndFigure(t *testing.T) {
+	base := startDaemon(t)
+
+	code, body := postJSON(t, base+"/v1/compile", map[string]any{"source": "x' = -x*y\ny' = x*y\n"})
+	if code != http.StatusOK {
+		t.Fatalf("compile: %d %s", code, body)
+	}
+	var cr service.CompileResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Protocol.Actions) != 1 || cr.Protocol.Actions[0].Kind != "sample" {
+		t.Fatalf("unexpected compile output: %+v", cr.Protocol)
+	}
+
+	code, body = postJSON(t, base+"/v1/jobs", map[string]any{
+		"source": "x' = -x*y\ny' = x*y\n", "n": 300, "periods": 20,
+		"initial": map[string]int{"x": 290, "y": 10},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	pollDone(t, base, st.ID, time.Minute)
+
+	resp, err := http.Get(base + "/v1/jobs/" + st.ID + "/figure.svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !bytes.HasPrefix(svg, []byte("<svg")) {
+		t.Fatalf("figure: %d %.60s", resp.StatusCode, svg)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run(context.Background(), []string{"-bogus"}, nil); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	// -h prints usage and succeeds without starting a server.
+	if err := run(context.Background(), []string{"-h"}, nil); err != nil {
+		t.Fatalf("-h returned an error: %v", err)
+	}
+	// A busy port must surface as an error, not a hang.
+	base := startDaemon(t)
+	addr := base[len("http://"):]
+	errc := make(chan error, 1)
+	go func() { errc <- run(context.Background(), []string{"-addr", addr}, nil) }()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("second listener on a busy port succeeded")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("busy-port run did not return")
+	}
+}

@@ -13,9 +13,13 @@
 // internal/asyncnet, internal/churn, internal/membership,
 // internal/replica, internal/mt19937, internal/stats, internal/plot), and
 // the engine-agnostic experiment harness that fans those experiments out
-// across cores deterministically (internal/harness).
+// across cores deterministically and cancellably (internal/harness), and
+// the HTTP compile-and-simulate service that exposes the whole pipeline as
+// a long-running daemon with a content-addressed result cache
+// (internal/service, served by cmd/odeprotod).
 //
-// See README.md for a package tour, a quickstart, and harness usage. The
-// benchmarks in bench_test.go regenerate each experiment at reduced scale;
-// cmd/figures regenerates them at paper scale.
+// See README.md for a package tour, a quickstart, harness usage, and the
+// service's endpoint and cache semantics. The benchmarks in bench_test.go
+// regenerate each experiment at reduced scale; cmd/figures regenerates
+// them at paper scale.
 package odeproto

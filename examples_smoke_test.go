@@ -1,0 +1,52 @@
+package odeproto_test
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// TestExamplesSmoke go-runs every example program and checks it exits 0,
+// so the examples cannot silently rot as the library evolves. Each
+// example takes between a fraction of a second and a few seconds; the
+// whole set runs in parallel. Skipped under -short (the CI test step
+// runs the full mode).
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test skipped in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go binary not available: %v", err)
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		ran++
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, goBin, "run", "./examples/"+name)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", name)
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no example programs found")
+	}
+}

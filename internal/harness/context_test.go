@@ -1,0 +1,210 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"odeproto/internal/ode"
+)
+
+// fakeRunner is a deterministic Runner whose per-period "population" is a
+// pure function of (seed, period), so any recorded series can be checked
+// against a closed form regardless of scheduling.
+type fakeRunner struct {
+	seed   int64
+	period int
+	delay  time.Duration
+	steps  *atomic.Int64
+}
+
+func (f *fakeRunner) Step() {
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	f.period++
+	if f.steps != nil {
+		f.steps.Add(1)
+	}
+}
+func (f *fakeRunner) Run(periods int) {
+	for i := 0; i < periods; i++ {
+		f.Step()
+	}
+}
+func (f *fakeRunner) Period() int { return f.period }
+func (f *fakeRunner) Alive() int  { return int(f.seed)*1000 + f.period }
+func (f *fakeRunner) Counts() map[ode.Var]int {
+	return map[ode.Var]int{"x": f.Alive()}
+}
+func (f *fakeRunner) Count(s ode.Var) int { return f.Counts()[s] }
+func (f *fakeRunner) Perturb(p Perturbation) (int, error) {
+	return 0, ErrUnsupported
+}
+
+func expectedSeries(seed int64, periods int) []int {
+	out := make([]int, periods)
+	for t := 0; t < periods; t++ {
+		out[t] = int(seed)*1000 + t + 1 // Alive() observed by AfterStep
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSweepContextCancelStopsPromptly cancels a parallel sweep from inside
+// a running job and verifies that (a) the sweep returns, (b) cancelled
+// jobs report a context error, and (c) only a bounded number of extra
+// steps execute after the cancellation lands — workers stop at the next
+// period boundary instead of draining their jobs.
+func TestSweepContextCancelStopsPromptly(t *testing.T) {
+	const njobs, periods, workers = 8, 400, 2
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var steps atomic.Int64
+	var atCancel atomic.Int64
+	jobs := make([]Job, njobs)
+	for i := range jobs {
+		seed := int64(i + 1)
+		jobs[i] = Job{
+			Name: "cancel-sweep",
+			Seed: seed,
+			New: func(seed int64) (Runner, error) {
+				return &fakeRunner{seed: seed, delay: 200 * time.Microsecond, steps: &steps}, nil
+			},
+			Periods: periods,
+		}
+	}
+	// Job 0 pulls the plug after its tenth period.
+	jobs[0].AfterStep = func(r Runner, t int) {
+		if t == 9 {
+			atCancel.Store(steps.Load())
+			cancel()
+		}
+	}
+
+	done := make(chan struct{})
+	var results []Result
+	var err error
+	go func() {
+		results, err = SweepContext(ctx, jobs, Options{Workers: workers})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep did not return after cancellation")
+	}
+
+	if err == nil {
+		t.Fatal("cancelled sweep returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("sweep error does not wrap context.Canceled: %v", err)
+	}
+	cancelled := 0
+	for i, res := range results {
+		if res.Err != nil {
+			if !errors.Is(res.Err, context.Canceled) {
+				t.Fatalf("job %d failed with a non-cancellation error: %v", i, res.Err)
+			}
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("no job was cancelled")
+	}
+	// With 2 workers each stopping at its next period boundary, at most a
+	// handful of in-flight steps may complete after cancel() returns.
+	extra := steps.Load() - atCancel.Load()
+	if extra > 64 {
+		t.Fatalf("%d steps executed after cancellation (want a small bound)", extra)
+	}
+	if total := steps.Load(); total >= njobs*periods {
+		t.Fatalf("all %d steps ran despite cancellation", total)
+	}
+}
+
+// TestSweepContextCompletedPrefixDeterministic cancels a sweep partway
+// through and verifies that every job that completed before the
+// cancellation carries byte-identical observations to an uncancelled
+// reference sweep, and that every cancelled job observed an exact prefix
+// of its reference series.
+func TestSweepContextCompletedPrefixDeterministic(t *testing.T) {
+	const njobs, periods = 6, 50
+
+	makeJobs := func(series [][]int, onStep func(job, t int)) []Job {
+		jobs := make([]Job, njobs)
+		for i := range jobs {
+			i := i
+			jobs[i] = Job{
+				Name: "prefix-determinism",
+				Seed: int64(i + 1),
+				New: func(seed int64) (Runner, error) {
+					return &fakeRunner{seed: seed}, nil
+				},
+				Periods: periods,
+				AfterStep: func(r Runner, t int) {
+					series[i] = append(series[i], r.Alive())
+					if onStep != nil {
+						onStep(i, t)
+					}
+				},
+			}
+		}
+		return jobs
+	}
+
+	// Reference: uncancelled serial sweep.
+	ref := make([][]int, njobs)
+	if _, err := Sweep(makeJobs(ref, nil), Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if !equalInts(ref[i], expectedSeries(int64(i+1), periods)) {
+			t.Fatalf("reference series %d does not match closed form", i)
+		}
+	}
+
+	// Cancelled run: job 4 cancels at its first period, so the serial
+	// prefix (jobs 0..3 on worker order) has completed normally.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got := make([][]int, njobs)
+	results, err := SweepContext(ctx, makeJobs(got, func(job, t int) {
+		if job == 4 && t == 0 {
+			cancel()
+		}
+	}), Options{Workers: 2})
+	if err == nil {
+		t.Fatal("cancelled sweep returned nil error")
+	}
+
+	for i, res := range results {
+		if res.Err == nil {
+			if !equalInts(got[i], ref[i]) {
+				t.Fatalf("completed job %d series differs from the uncancelled reference", i)
+			}
+			continue
+		}
+		if len(got[i]) > len(ref[i]) || !equalInts(got[i], ref[i][:len(got[i])]) {
+			t.Fatalf("cancelled job %d series is not a prefix of the reference (got %d rows)", i, len(got[i]))
+		}
+		if len(got[i]) == periods {
+			t.Fatalf("job %d reported cancellation but observed all periods", i)
+		}
+	}
+}

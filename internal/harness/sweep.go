@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -103,6 +104,19 @@ func (o Options) workerCount() int {
 // byte-identical at any worker count. A non-nil error joins every job
 // failure; the per-job Result.Err fields pinpoint them.
 func Sweep(jobs []Job, opt Options) ([]Result, error) {
+	return SweepContext(context.Background(), jobs, opt)
+}
+
+// SweepContext is Sweep with cancellation. Every job checks the context at
+// each period boundary, so an in-flight job stops within one period of the
+// context being cancelled; jobs not yet dispatched are never started. A
+// cancelled job's Result.Err wraps ctx.Err() (test with errors.Is).
+//
+// Cancellation does not disturb determinism: jobs that finished before the
+// cancellation carry exactly the results they would in an uncancelled
+// sweep, and a cancelled job's hooks have observed a prefix of the periods
+// an uncancelled run would produce (same seeds, same order).
+func SweepContext(ctx context.Context, jobs []Job, opt Options) ([]Result, error) {
 	results := make([]Result, len(jobs))
 	workers := opt.workerCount()
 	if workers > len(jobs) {
@@ -110,7 +124,7 @@ func Sweep(jobs []Job, opt Options) ([]Result, error) {
 	}
 	if workers <= 1 {
 		for i := range jobs {
-			results[i] = runJob(&jobs[i])
+			results[i] = runJob(ctx, &jobs[i])
 		}
 	} else {
 		idx := make(chan int)
@@ -120,12 +134,23 @@ func Sweep(jobs []Job, opt Options) ([]Result, error) {
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					results[i] = runJob(&jobs[i])
+					results[i] = runJob(ctx, &jobs[i])
 				}
 			}()
 		}
+	feed:
 		for i := range jobs {
-			idx <- i
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				// The remaining jobs were never dispatched; mark them
+				// cancelled here (the workers only write dispatched slots).
+				for j := i; j < len(jobs); j++ {
+					results[j] = Result{Name: jobs[j].Name, Seed: jobs[j].Seed,
+						Err: fmt.Errorf("harness: job not started: %w", ctx.Err())}
+				}
+				break feed
+			}
 		}
 		close(idx)
 		wg.Wait()
@@ -141,10 +166,18 @@ func Sweep(jobs []Job, opt Options) ([]Result, error) {
 
 // Run executes a single job synchronously — the CLI entry points that run
 // one configuration use it so single runs and sweeps share one code path.
-func Run(job Job) Result { return runJob(&job) }
+func Run(job Job) Result { return runJob(context.Background(), &job) }
 
-func runJob(job *Job) Result {
+// RunContext is Run with cancellation, with the same per-period semantics
+// as SweepContext.
+func RunContext(ctx context.Context, job Job) Result { return runJob(ctx, &job) }
+
+func runJob(ctx context.Context, job *Job) Result {
 	res := Result{Name: job.Name, Seed: job.Seed}
+	if err := ctx.Err(); err != nil {
+		res.Err = fmt.Errorf("harness: job not started: %w", err)
+		return res
+	}
 	if job.New == nil {
 		res.Err = fmt.Errorf("harness: job has no Runner factory")
 		return res
@@ -171,6 +204,10 @@ func runJob(job *Job) Result {
 	}
 	next := 0
 	for t := 0; t < job.Periods; t++ {
+		if err := ctx.Err(); err != nil {
+			res.Err = fmt.Errorf("harness: job cancelled at period %d: %w", t, err)
+			return res
+		}
 		for next < len(events) && events[next].At <= t {
 			n, err := r.Perturb(events[next].P)
 			if err != nil {

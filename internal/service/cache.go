@@ -1,0 +1,98 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the content-addressed result store: an LRU map from
+// canonical request hash to the finished JobResult. Entries are immutable
+// once inserted — handlers serve the shared pointer directly — which is
+// sound because sweep output is byte-identical for a fixed key (the key
+// includes the seed derivation and the shard count K).
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	key string
+	res *JobResult
+}
+
+func newResultCache(max int) *resultCache {
+	if max < 1 {
+		max = 1
+	}
+	return &resultCache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached result for key, marking it most recently used
+// and counting the lookup in the hit/miss stats.
+func (c *resultCache) get(key string) (*JobResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// peek is get without touching the hit/miss counters, for the worker's
+// at-pickup re-check: that lookup retries a miss Submit already counted,
+// and counting it again would halve the reported hit ratio.
+func (c *resultCache) peek(key string) (*JobResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put inserts (or refreshes) a result, evicting the least recently used
+// entry beyond the capacity bound.
+func (c *resultCache) put(key string, res *JobResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// CacheStats is the cache section of GET /v1/stats.
+type CacheStats struct {
+	Size   int   `json:"size"`
+	Max    int   `json:"max"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+func (c *resultCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Size: c.order.Len(), Max: c.max, Hits: c.hits, Misses: c.misses}
+}

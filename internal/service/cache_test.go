@@ -1,0 +1,162 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	r1, r2, r3 := &JobResult{}, &JobResult{}, &JobResult{}
+	c.put("a", r1)
+	c.put("b", r2)
+	if got, ok := c.get("a"); !ok || got != r1 {
+		t.Fatal("a missing after insert")
+	}
+	// "b" is now least recently used; inserting "c" must evict it.
+	c.put("c", r3)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b not evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted despite being recently used")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	st := c.stats()
+	if st.Size != 2 || st.Max != 2 {
+		t.Fatalf("stats size/max = %d/%d", st.Size, st.Max)
+	}
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("stats hits/misses = %d/%d", st.Hits, st.Misses)
+	}
+}
+
+func normalizeOrFatal(t *testing.T, spec JobSpec) (JobSpec, string) {
+	t.Helper()
+	comp, err := spec.normalize(defaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, spec.cacheKey(comp)
+}
+
+func TestCacheKeyCanonicalization(t *testing.T) {
+	base := JobSpec{
+		Source: "x' = -x*y\ny' = x*y\n",
+		N:      100, Periods: 10, Engine: "agent", Shards: 4, Seed: 3,
+		Initial: map[string]int{"x": 99, "y": 1},
+	}
+	_, keyBase := normalizeOrFatal(t, base)
+
+	// Formatting and comments in the DSL must not split the cache.
+	reformatted := base
+	reformatted.Source = "# epidemic\n x'   =  -1*x*y\n\ny' = x*y"
+	reformatted.Initial = map[string]int{"x": 99, "y": 1}
+	if _, key := normalizeOrFatal(t, reformatted); key != keyBase {
+		t.Fatal("reformatted source changed the cache key")
+	}
+
+	// "sharded" with the same K is the same content as "agent" + shards.
+	sharded := base
+	sharded.Engine = "sharded"
+	sharded.Initial = map[string]int{"x": 99, "y": 1}
+	if _, key := normalizeOrFatal(t, sharded); key != keyBase {
+		t.Fatal(`engine "sharded" split the cache from agent-with-K`)
+	}
+
+	// Zero initial entries are dropped from the canonical form: starting
+	// everyone in x is the same content with or without an explicit y: 0.
+	allX := base
+	allX.Initial = map[string]int{"x": 100}
+	_, keyAllX := normalizeOrFatal(t, allX)
+	withZero := base
+	withZero.Initial = map[string]int{"x": 100, "y": 0}
+	if _, key := normalizeOrFatal(t, withZero); key != keyAllX {
+		t.Fatal("explicit zero initial entry changed the cache key")
+	}
+
+	// A different shard count is a different RNG stream → different key.
+	otherK := base
+	otherK.Shards = 8
+	otherK.Initial = map[string]int{"x": 99, "y": 1}
+	if _, key := normalizeOrFatal(t, otherK); key == keyBase {
+		t.Fatal("shard count is not part of the cache key")
+	}
+
+	// A different seed is different content.
+	otherSeed := base
+	otherSeed.Seed = 4
+	otherSeed.Initial = map[string]int{"x": 99, "y": 1}
+	if _, key := normalizeOrFatal(t, otherSeed); key == keyBase {
+		t.Fatal("seed is not part of the cache key")
+	}
+}
+
+func TestSpecValidationErrors(t *testing.T) {
+	ok := JobSpec{Source: "x' = -x*y\ny' = x*y\n", N: 100, Periods: 10}
+	cases := []struct {
+		name   string
+		mutate func(*JobSpec)
+		want   string
+	}{
+		{"bad engine", func(s *JobSpec) { s.Engine = "quantum" }, "unknown engine"},
+		{"sharded without K", func(s *JobSpec) { s.Engine = "sharded" }, "needs shards"},
+		{"aggregate with shards", func(s *JobSpec) { s.Engine = "aggregate"; s.Shards = 4 }, "does not shard"},
+		{"zero n", func(s *JobSpec) { s.N = 0 }, "n must be"},
+		{"zero periods", func(s *JobSpec) { s.Periods = 0 }, "periods must be"},
+		{"n above limit", func(s *JobSpec) { s.N = defaultLimits.MaxN + 1 }, "exceeds the service limit"},
+		{"shards above n", func(s *JobSpec) { s.Shards = 200 }, "exceeds the group size"},
+		{"bad source", func(s *JobSpec) { s.Source = "x = 1" }, "must be of the form"},
+		{"unknown param", func(s *JobSpec) { s.Source = "x' = -k*x\n" }, "unknown identifier"},
+		{"initial not a state", func(s *JobSpec) { s.Initial = map[string]int{"x": 50, "q": 50} }, "not a protocol state"},
+		{"initial sum mismatch", func(s *JobSpec) { s.Initial = map[string]int{"x": 10, "y": 10} }, "sum to"},
+		{"negative initial", func(s *JobSpec) { s.Initial = map[string]int{"x": -1, "y": 101} }, "negative"},
+		{"event past horizon", func(s *JobSpec) { s.Events = []EventSpec{{At: 10, Kind: "kill"}} }, "outside [0, 10)"},
+		{"event proc out of range", func(s *JobSpec) { s.Events = []EventSpec{{At: 1, Kind: "kill", Proc: 100}} }, "outside the group"},
+		{"event proc negative", func(s *JobSpec) { s.Events = []EventSpec{{At: 1, Kind: "freeze", Proc: -1}} }, "outside the group"},
+		{"row budget", func(s *JobSpec) { s.Periods = 10000; s.Seeds = 1000 }, "would record"},
+		{"event bad kind", func(s *JobSpec) { s.Events = []EventSpec{{At: 1, Kind: "nuke"}} }, "unknown event kind"},
+		{"event bad frac", func(s *JobSpec) { s.Events = []EventSpec{{At: 1, Kind: "kill-fraction", Frac: 1.5}} }, "outside [0,1]"},
+		{"revive without state", func(s *JobSpec) { s.Events = []EventSpec{{At: 1, Kind: "revive"}} }, "needs a state"},
+		{"aggregate with kill", func(s *JobSpec) {
+			s.Engine = "aggregate"
+			s.Events = []EventSpec{{At: 1, Kind: "kill"}}
+		}, "only supports kill-fraction"},
+		{"asyncnet with events", func(s *JobSpec) {
+			s.Engine = "asyncnet"
+			s.Events = []EventSpec{{At: 1, Kind: "kill-fraction", Frac: 0.5}}
+		}, "supports no perturbations"},
+	}
+	for _, tc := range cases {
+		spec := ok
+		spec.Initial = nil
+		spec.Events = nil
+		tc.mutate(&spec)
+		_, err := spec.normalize(defaultLimits)
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestAsyncnetNotCacheable(t *testing.T) {
+	spec := JobSpec{Source: "x' = -x*y\ny' = x*y\n", N: 50, Periods: 2, Engine: "asyncnet"}
+	if _, err := spec.normalize(defaultLimits); err != nil {
+		t.Fatal(err)
+	}
+	if spec.cacheable() {
+		t.Fatal("asyncnet jobs must not be cacheable (nondeterministic engine)")
+	}
+	agent := JobSpec{Source: "x' = -x*y\ny' = x*y\n", N: 50, Periods: 2}
+	if _, err := agent.normalize(defaultLimits); err != nil {
+		t.Fatal(err)
+	}
+	if !agent.cacheable() {
+		t.Fatal("agent jobs must be cacheable")
+	}
+}

@@ -1,0 +1,50 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"odeproto/internal/plot"
+)
+
+// handleFigure renders a finished job's trajectories as a self-contained
+// SVG line chart: one line per protocol state, per-period counts on the
+// y-axis. Multi-seed jobs render run 0 (the full data is in the JSON
+// result).
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errNotFound)
+		return
+	}
+	st := job.Snapshot(true)
+	if st.Status != StatusDone || st.Result == nil {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job %s is %s; figures render once it is done", st.ID, st.Status))
+		return
+	}
+	res := st.Result
+	if len(res.Runs) == 0 || len(res.Runs[0].Rows) == 0 {
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s recorded no rows", st.ID))
+		return
+	}
+	run := res.Runs[0]
+	chart := plot.NewChart(
+		fmt.Sprintf("%s · %s engine · N=%d · seed %d", st.ID, st.Engine, st.N, run.Seed),
+		"period", "processes")
+	xs := make([]float64, len(run.Rows))
+	for i, row := range run.Rows {
+		xs[i] = float64(row.Period)
+	}
+	for si, state := range res.States {
+		ys := make([]float64, len(run.Rows))
+		for i, row := range run.Rows {
+			ys[i] = float64(row.Counts[si])
+		}
+		chart.AddLine(state, xs, ys)
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, chart.SVG())
+}

@@ -1,0 +1,388 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"odeproto/internal/asyncnet"
+	"odeproto/internal/harness"
+	"odeproto/internal/ode"
+	"odeproto/internal/sim"
+)
+
+// Status enumerates a job's lifecycle states.
+type Status string
+
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// PeriodRow is one recorded observation: the per-state counts (aligned
+// with JobResult.States) at the end of period Period.
+type PeriodRow struct {
+	Period int   `json:"period"`
+	Counts []int `json:"counts"`
+}
+
+// RunResult is the full trajectory of one seed's run.
+type RunResult struct {
+	Seed int64 `json:"seed"`
+	// Killed is the total process count crash-stopped by the job's
+	// kill/kill-fraction events.
+	Killed int `json:"killed"`
+	// Rows are the recorded per-period counts, every RecordEvery periods
+	// plus the final period.
+	Rows []PeriodRow `json:"rows"`
+}
+
+// JobResult is the deterministic output of a job: one RunResult per seed,
+// in seed order. Identical specs produce byte-identical JobResults (for
+// the deterministic engines), which is what makes the result cache sound.
+type JobResult struct {
+	States []string    `json:"states"`
+	Runs   []RunResult `json:"runs"`
+}
+
+// Job is one submitted sweep.
+type Job struct {
+	ID  string
+	Key string
+
+	mu       sync.Mutex
+	spec     JobSpec
+	comp     *compiled
+	status   Status
+	errMsg   string
+	cached   bool
+	result   *JobResult
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+
+	rows *rowBuffer
+	done chan struct{}
+}
+
+// JobStatus is the wire form of GET /v1/jobs/{id} (and each element of
+// GET /v1/jobs).
+type JobStatus struct {
+	ID       string `json:"id"`
+	Status   Status `json:"status"`
+	Error    string `json:"error,omitempty"`
+	CacheKey string `json:"cache_key"`
+	// Cached reports that the result was served from the content-addressed
+	// cache without running a sweep.
+	Cached   bool       `json:"cached"`
+	Engine   string     `json:"engine"`
+	N        int        `json:"n"`
+	Periods  int        `json:"periods"`
+	Seeds    int        `json:"seeds"`
+	Shards   int        `json:"shards,omitempty"`
+	Rows     int        `json:"rows"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Result   *JobResult `json:"result,omitempty"`
+}
+
+// statusLocked assembles the wire status; callers hold j.mu.
+func (j *Job) statusLocked(includeResult bool) JobStatus {
+	st := JobStatus{
+		ID:       j.ID,
+		Status:   j.status,
+		Error:    j.errMsg,
+		CacheKey: j.Key,
+		Cached:   j.cached,
+		Engine:   j.spec.Engine,
+		N:        j.spec.N,
+		Periods:  j.spec.Periods,
+		Seeds:    j.spec.Seeds,
+		Shards:   j.spec.Shards,
+		Rows:     j.rows.snapshotLen(),
+		Created:  j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if includeResult && j.status == StatusDone {
+		st.Result = j.result
+	}
+	return st
+}
+
+// Snapshot returns the job's current wire status.
+func (j *Job) Snapshot(includeResult bool) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.statusLocked(includeResult)
+}
+
+// finish moves the job to a terminal state and closes its stream. It must
+// be called exactly once per job, by whoever owns the transition (the
+// worker, or Cancel for still-queued jobs).
+func (j *Job) finish(status Status, res *JobResult, errMsg string, cached bool) {
+	j.mu.Lock()
+	j.status = status
+	j.result = res
+	j.errMsg = errMsg
+	j.cached = cached
+	j.finished = time.Now()
+	j.cancel = nil
+	j.mu.Unlock()
+	j.completeStream(status)
+}
+
+// completeStream emits the terminal stream row and releases waiters.
+func (j *Job) completeStream(status Status) {
+	j.rows.append(StreamRow{Event: string(status), Period: -1})
+	j.rows.closeBuf()
+	close(j.done)
+}
+
+// initialCounts resolves the spec's initial populations against the
+// protocol states: explicit counts, or a uniform split with the remainder
+// on the first state.
+func initialCounts(spec *JobSpec, states []ode.Var) map[ode.Var]int {
+	counts := make(map[ode.Var]int, len(states))
+	if len(spec.Initial) == 0 {
+		per := spec.N / len(states)
+		rem := spec.N - per*len(states)
+		for i, s := range states {
+			counts[s] = per
+			if i == 0 {
+				counts[s] += rem
+			}
+		}
+		return counts
+	}
+	for k, v := range spec.Initial {
+		counts[ode.Var(k)] = v
+	}
+	return counts
+}
+
+// buildSweep compiles the job's spec into harness jobs plus the result
+// slots their hooks fill. The recording rule — counts after the Step of
+// every period t with t % RecordEvery == 0, plus the final period — is
+// part of the service's public contract (the end-to-end tests reproduce
+// it against a direct harness.Sweep run).
+func buildSweep(spec *JobSpec, comp *compiled, rows *rowBuffer) ([]harness.Job, []RunResult, error) {
+	states := comp.proto.States
+	counts := initialCounts(spec, states)
+
+	events := make([]harness.Event, len(spec.Events))
+	for i, e := range spec.Events {
+		p, err := e.perturbation()
+		if err != nil {
+			return nil, nil, err
+		}
+		events[i] = harness.Event{At: e.At, P: p}
+	}
+
+	runs := make([]RunResult, spec.Seeds)
+	jobs := make([]harness.Job, spec.Seeds)
+	for i := range jobs {
+		i := i
+		seed := spec.seedFor(i)
+		runs[i].Seed = seed
+
+		var newRunner func(seed int64) (harness.Runner, error)
+		switch spec.Engine {
+		case EngineAgent:
+			cfg := sim.Config{
+				N: spec.N, Protocol: comp.proto, Initial: counts,
+				Shards: spec.Shards,
+			}
+			newRunner = func(seed int64) (harness.Runner, error) {
+				cfg.Seed = seed
+				return harness.NewAgent(cfg)
+			}
+		case EngineAggregate:
+			newRunner = func(seed int64) (harness.Runner, error) {
+				return harness.NewAggregate(comp.proto, counts, seed, 0)
+			}
+		case EngineAsyncnet:
+			cfg := asyncnet.Config{N: spec.N, Protocol: comp.proto, Initial: counts}
+			newRunner = func(seed int64) (harness.Runner, error) {
+				cfg.Seed = seed
+				return asyncnet.NewRunner(cfg)
+			}
+		default:
+			return nil, nil, fmt.Errorf("unknown engine %q", spec.Engine)
+		}
+
+		run := &runs[i]
+		record := func(r harness.Runner, t int) {
+			row := PeriodRow{Period: t, Counts: make([]int, len(states))}
+			for si, s := range states {
+				row.Counts[si] = r.Count(s)
+			}
+			run.Rows = append(run.Rows, row)
+			if rows != nil {
+				rows.append(StreamRow{Run: i, Seed: seed, Period: t, Counts: row.Counts})
+			}
+		}
+		jobs[i] = harness.Job{
+			Name:    fmt.Sprintf("service-run-%d", i),
+			Seed:    seed,
+			New:     newRunner,
+			Periods: spec.Periods,
+			Events:  events,
+			AfterStep: func(r harness.Runner, t int) {
+				if t%spec.RecordEvery == 0 || t == spec.Periods-1 {
+					record(r, t)
+				}
+			},
+		}
+	}
+	return jobs, runs, nil
+}
+
+// execute runs the sweep for a job that missed the cache. It returns the
+// assembled result, or ctx's error if the job was cancelled mid-flight.
+func (s *Server) execute(ctx context.Context, job *Job) (*JobResult, error) {
+	job.mu.Lock()
+	spec := job.spec
+	comp := job.comp
+	job.mu.Unlock()
+
+	jobs, runs, err := buildSweep(&spec, comp, job.rows)
+	if err != nil {
+		return nil, err
+	}
+	s.sweeps.Add(1)
+	results, err := harness.SweepContext(ctx, jobs, harness.Options{Workers: s.cfg.SweepWorkers})
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, err
+	}
+	res := &JobResult{States: make([]string, len(comp.proto.States)), Runs: runs}
+	for i, st := range comp.proto.States {
+		res.States[i] = string(st)
+	}
+	for i := range results {
+		runs[i].Killed = results[i].Killed
+	}
+	return res, nil
+}
+
+// worker consumes the job queue until the server closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case job, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.runJob(job)
+		}
+	}
+}
+
+// runJob drives one queued job to a terminal state.
+func (s *Server) runJob(job *Job) {
+	job.mu.Lock()
+	if job.status != StatusQueued {
+		// Cancelled while queued; finish() already ran.
+		job.mu.Unlock()
+		return
+	}
+	cacheable := job.spec.cacheable()
+	key := job.Key
+
+	// A twin job submitted earlier may have populated the cache between
+	// submission and pickup; re-check before simulating (peek: Submit
+	// already counted this job's miss).
+	if cacheable {
+		if res, ok := s.cache.peek(key); ok {
+			job.status = StatusRunning
+			job.started = time.Now()
+			job.mu.Unlock()
+			fillRowsFromResult(job.rows, res)
+			job.finish(StatusDone, res, "", true)
+			return
+		}
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	job.status = StatusRunning
+	job.started = time.Now()
+	job.cancel = cancel
+	job.mu.Unlock()
+	defer cancel()
+
+	res, err := s.execute(ctx, job)
+	switch {
+	case err == nil:
+		if cacheable {
+			s.cache.put(key, res)
+		}
+		job.finish(StatusDone, res, "", false)
+	case ctx.Err() != nil:
+		job.finish(StatusCancelled, nil, "job cancelled", false)
+	default:
+		job.finish(StatusFailed, nil, err.Error(), false)
+	}
+}
+
+// fillRowsFromResult replays a cached result into a fresh job's stream
+// buffer, so /stream behaves identically for cache hits.
+func fillRowsFromResult(rows *rowBuffer, res *JobResult) {
+	for i := range res.Runs {
+		run := &res.Runs[i]
+		for _, row := range run.Rows {
+			rows.append(StreamRow{Run: i, Seed: run.Seed, Period: row.Period, Counts: row.Counts})
+		}
+	}
+}
+
+// Cancel aborts a job. Queued jobs terminate immediately; running jobs
+// stop at their next period boundary (harness.SweepContext semantics).
+// Terminal jobs return an error.
+func (s *Server) Cancel(id string) (JobStatus, error) {
+	job, ok := s.job(id)
+	if !ok {
+		return JobStatus{}, errNotFound
+	}
+	job.mu.Lock()
+	switch job.status {
+	case StatusQueued:
+		// Claim the terminal transition while holding the lock: the worker
+		// that later pops this job observes the non-queued status under
+		// the same mutex and skips it, so finish-style bookkeeping here
+		// cannot double with the worker's.
+		job.status = StatusCancelled
+		job.errMsg = "job cancelled before it started"
+		job.finished = time.Now()
+		job.mu.Unlock()
+		job.completeStream(StatusCancelled)
+		return job.Snapshot(false), nil
+	case StatusRunning:
+		cancel := job.cancel
+		job.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return job.Snapshot(false), nil
+	default:
+		st := job.statusLocked(false)
+		job.mu.Unlock()
+		return st, fmt.Errorf("job %s is already %s", id, st.Status)
+	}
+}

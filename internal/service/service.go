@@ -1,0 +1,435 @@
+// Package service exposes the full paper pipeline — parse ODEs, rewrite to
+// mappable form (§7), translate to a distributed protocol (§3/§6), and
+// simulate at scale (§5) — as a long-running HTTP/JSON service.
+//
+// Architecture: POST /v1/jobs validates and compiles the request up front,
+// then either answers it from a content-addressed result cache or enqueues
+// it on a bounded queue feeding a worker pool; workers route execution
+// through harness.SweepContext so DELETE /v1/jobs/{id} can abort in-flight
+// sweeps at a period boundary. The cache is sound because sweep output is
+// byte-identical for a fixed normalized spec (seed derivation and the
+// agent engine's shard count K are both part of the cache key); the
+// asyncnet engine is the one exception — it schedules real goroutines
+// against wall-clock timers — and is therefore never cached.
+//
+// Endpoints:
+//
+//	POST   /v1/compile             ODE source → taxonomy, actions, expected flow
+//	POST   /v1/jobs                enqueue a sweep (or answer it from cache)
+//	GET    /v1/jobs                list job statuses
+//	GET    /v1/jobs/{id}           status + result
+//	DELETE /v1/jobs/{id}           cancel a queued or running job
+//	GET    /v1/jobs/{id}/stream    NDJSON per-period counts as the run progresses
+//	GET    /v1/jobs/{id}/figure.svg  rendered trajectory (internal/plot)
+//	GET    /v1/stats               cache/queue/worker counters
+//	GET    /v1/healthz             liveness
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the number of jobs simulated concurrently (default 2).
+	Workers int
+	// QueueDepth bounds the jobs waiting to run (default 64); submissions
+	// beyond it are rejected with 503.
+	QueueDepth int
+	// CacheSize bounds the content-addressed result cache (default 256
+	// results, LRU eviction).
+	CacheSize int
+	// SweepWorkers is the harness worker-pool size each job's sweep uses
+	// (0 = all cores).
+	SweepWorkers int
+	// Limits bound a single job's size; zero fields take the defaults.
+	Limits Limits
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.Limits.MaxN == 0 {
+		c.Limits.MaxN = defaultLimits.MaxN
+	}
+	if c.Limits.MaxPeriods == 0 {
+		c.Limits.MaxPeriods = defaultLimits.MaxPeriods
+	}
+	if c.Limits.MaxSeeds == 0 {
+		c.Limits.MaxSeeds = defaultLimits.MaxSeeds
+	}
+	if c.Limits.MaxShards == 0 {
+		c.Limits.MaxShards = defaultLimits.MaxShards
+	}
+	if c.Limits.MaxRows == 0 {
+		c.Limits.MaxRows = defaultLimits.MaxRows
+	}
+	return c
+}
+
+// Server is the compile-and-simulate service: job store, bounded queue,
+// worker pool, and content-addressed result cache.
+type Server struct {
+	cfg   Config
+	cache *resultCache
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // insertion order, for listing
+	nextID int
+
+	queue      chan *Job
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+	closeOnce  sync.Once
+	closed     atomic.Bool
+
+	sweeps atomic.Int64
+}
+
+var errNotFound = errors.New("job not found")
+
+// New builds a Server and starts its worker pool. Call Close to stop it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		cache:      newResultCache(cfg.CacheSize),
+		jobs:       make(map[string]*Job),
+		queue:      make(chan *Job, cfg.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Close cancels every in-flight job, stops the workers, and finishes any
+// still-queued jobs as cancelled — leaving a queued job in limbo would
+// hold its /stream responses open forever and stall the HTTP server's
+// graceful shutdown behind them. Idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.closed.Store(true) // reject new submissions first
+		s.baseCancel()
+		s.wg.Wait()
+		for {
+			select {
+			case job := <-s.queue:
+				job.mu.Lock()
+				if job.status != StatusQueued {
+					job.mu.Unlock()
+					continue
+				}
+				job.status = StatusCancelled
+				job.errMsg = "service shut down before the job started"
+				job.finished = time.Now()
+				job.mu.Unlock()
+				job.completeStream(StatusCancelled)
+			default:
+				return
+			}
+		}
+	})
+}
+
+// SweepsExecuted reports how many sweeps actually simulated (cache hits
+// do not count) — the run counter the cache tests and the determinism
+// acceptance test key on.
+func (s *Server) SweepsExecuted() int64 { return s.sweeps.Load() }
+
+// job looks up a job by ID.
+func (s *Server) job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Submit validates, compiles, and registers a job. Cache hits return an
+// already-done job; misses are enqueued. A full queue returns an error
+// that the HTTP layer maps to 503.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if s.closed.Load() {
+		return nil, errQueueFull
+	}
+	comp, err := spec.normalize(s.cfg.Limits)
+	if err != nil {
+		return nil, &inputError{err}
+	}
+	key := spec.cacheKey(comp)
+
+	job := &Job{
+		Key:     key,
+		spec:    spec,
+		comp:    comp,
+		status:  StatusQueued,
+		created: time.Now(),
+		rows:    newRowBuffer(),
+		done:    make(chan struct{}),
+	}
+
+	if spec.cacheable() {
+		if res, ok := s.cache.get(key); ok {
+			job.status = StatusDone
+			job.result = res
+			job.cached = true
+			job.started = job.created
+			job.finished = time.Now()
+			fillRowsFromResult(job.rows, res)
+			job.rows.append(StreamRow{Event: string(StatusDone), Period: -1})
+			job.rows.closeBuf()
+			close(job.done)
+			s.register(job)
+			return job, nil
+		}
+	}
+
+	s.register(job)
+	select {
+	case s.queue <- job:
+		return job, nil
+	default:
+		// Bounded queue full: withdraw the job and push back.
+		s.unregister(job.ID)
+		return nil, errQueueFull
+	}
+}
+
+var errQueueFull = errors.New("job queue is full")
+
+// register assigns an ID and stores the job.
+func (s *Server) register(job *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	job.ID = fmt.Sprintf("j%06d", s.nextID)
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+}
+
+func (s *Server) unregister(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	for i, jid := range s.order {
+		if jid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Stats is the body of GET /v1/stats.
+type Stats struct {
+	Jobs           map[Status]int `json:"jobs"`
+	QueueDepth     int            `json:"queue_depth"`
+	QueueCapacity  int            `json:"queue_capacity"`
+	Workers        int            `json:"workers"`
+	SweepsExecuted int64          `json:"sweeps_executed"`
+	Cache          CacheStats     `json:"cache"`
+}
+
+func (s *Server) stats() Stats {
+	st := Stats{
+		Jobs:           make(map[Status]int),
+		QueueCapacity:  s.cfg.QueueDepth,
+		Workers:        s.cfg.Workers,
+		SweepsExecuted: s.sweeps.Load(),
+		Cache:          s.cache.stats(),
+	}
+	s.mu.Lock()
+	for _, id := range s.order {
+		st.Jobs[s.jobs[id].Snapshot(false).Status]++
+	}
+	s.mu.Unlock()
+	st.QueueDepth = len(s.queue)
+	return st
+}
+
+// inputError marks validation/compile failures (HTTP 400).
+type inputError struct{ err error }
+
+func (e *inputError) Error() string { return e.err.Error() }
+func (e *inputError) Unwrap() error { return e.err }
+
+// Handler returns the service's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/jobs/{id}/figure.svg", s.handleFigure)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req CompileRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	comp, err := compilePipeline(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, compileResponse(req, comp))
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := decodeBody(r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case err == nil:
+	case errors.Is(err, errQueueFull):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		var ie *inputError
+		if errors.As(err, &ie) {
+			writeError(w, http.StatusBadRequest, err)
+		} else {
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	st := job.Snapshot(false)
+	status := http.StatusAccepted
+	if st.Status == StatusDone {
+		status = http.StatusOK // served from cache, no work pending
+	}
+	writeJSON(w, status, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, len(ids))
+	for i, id := range ids {
+		jobs[i] = s.jobs[id]
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Snapshot(false)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot(true))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, st)
+	case errors.Is(err, errNotFound):
+		writeError(w, http.StatusNotFound, err)
+	default:
+		writeError(w, http.StatusConflict, err)
+	}
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	ctx := r.Context()
+	stop := context.AfterFunc(ctx, job.rows.broadcast)
+	defer stop()
+
+	sent := 0
+	for {
+		rows, closed := job.rows.wait(sent, func() bool { return ctx.Err() != nil })
+		if ctx.Err() != nil {
+			return
+		}
+		for ; sent < len(rows); sent++ {
+			// Two writes: appending '\n' to the shared row slice could
+			// scribble on the marshal buffer another reader is sending.
+			if _, err := w.Write(rows[sent]); err != nil {
+				return
+			}
+			if _, err := w.Write([]byte{'\n'}); err != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if closed && sent == len(rows) {
+			return
+		}
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.stats())
+}

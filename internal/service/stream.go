@@ -1,0 +1,86 @@
+package service
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// StreamRow is one NDJSON line of GET /v1/jobs/{id}/stream: the per-state
+// counts observed at the end of one recorded period of one run. Rows from
+// different runs of a multi-seed job interleave in arrival order (the
+// final JobResult is deterministic; the live interleaving is not).
+type StreamRow struct {
+	Run    int    `json:"run"`
+	Seed   int64  `json:"seed"`
+	Period int    `json:"period"`
+	Counts []int  `json:"counts"`
+	Killed int    `json:"killed,omitempty"`
+	Event  string `json:"event,omitempty"` // "done" | "cancelled" | "failed" on the terminal row
+}
+
+// rowBuffer accumulates marshaled stream rows and wakes blocked stream
+// readers as rows arrive. Closed exactly once, when the job reaches a
+// terminal state.
+type rowBuffer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	rows   [][]byte
+	closed bool
+}
+
+func newRowBuffer() *rowBuffer {
+	b := &rowBuffer{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// append marshals and appends one row, waking all waiting readers.
+func (b *rowBuffer) append(row StreamRow) {
+	data, err := json.Marshal(row)
+	if err != nil {
+		// StreamRow contains only marshalable fields; unreachable.
+		panic("service: stream row marshal: " + err.Error())
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.rows = append(b.rows, data)
+	b.cond.Broadcast()
+}
+
+// closeBuf marks the stream complete and wakes all readers.
+func (b *rowBuffer) closeBuf() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	b.cond.Broadcast()
+}
+
+// wait blocks until more than have rows exist, the buffer is closed, or
+// giveUp returns true (checked each wakeup; pair it with a goroutine that
+// Broadcasts when the caller's context ends). It returns the full row
+// slice and whether the buffer is closed.
+func (b *rowBuffer) wait(have int, giveUp func() bool) ([][]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.rows) <= have && !b.closed && !giveUp() {
+		b.cond.Wait()
+	}
+	return b.rows, b.closed
+}
+
+// broadcast wakes all waiting readers without changing state.
+func (b *rowBuffer) broadcast() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// snapshotLen returns the current row count.
+func (b *rowBuffer) snapshotLen() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.rows)
+}
