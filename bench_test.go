@@ -8,6 +8,7 @@ package odeproto_test
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -26,6 +27,7 @@ import (
 	"odeproto/internal/service"
 	"odeproto/internal/sim"
 	"odeproto/internal/solver"
+	"odeproto/internal/store"
 )
 
 // BenchmarkFig2EndemicPhasePortrait simulates the Figure 2 stable-spiral
@@ -431,6 +433,110 @@ func BenchmarkServiceCacheMiss(b *testing.B) {
 		b.Fatalf("cache-miss benchmark executed %d sweeps for %d requests", n, b.N)
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// --- persistence benchmarks ---
+
+// BenchmarkStoreAppend measures the durable job journal's append path —
+// frame, CRC, write, fsync — the per-transition overhead every submitted
+// job pays three times (submitted/running/terminal).
+func BenchmarkStoreAppend(b *testing.B) {
+	st, err := store.Open(b.TempDir(), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	spec := json.RawMessage(`{"source":"x' = -x*y\ny' = x*y\n","n":400,"periods":25,"seed":7}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := store.JobRecord{Op: store.OpSubmitted, ID: "j000001", Key: "abcd1234", Spec: spec, SubmittedAt: int64(i + 1)}
+		if err := st.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "appends/s")
+}
+
+// benchStoreDir builds a data dir holding jobs completed lifecycles and
+// their content-addressed result blobs.
+func benchStoreDir(b *testing.B, jobs, rowsPerResult int) string {
+	b.Helper()
+	dir := b.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < jobs; i++ {
+		res := service.JobResult{States: []string{"x", "y"}, Runs: []service.RunResult{{Seed: int64(i + 1)}}}
+		for p := 0; p < rowsPerResult; p++ {
+			res.Runs[0].Rows = append(res.Runs[0].Rows, service.PeriodRow{Period: p, Counts: []int{400 - p, p}})
+		}
+		blob, err := json.Marshal(&res)
+		if err != nil {
+			b.Fatal(err)
+		}
+		key := fmt.Sprintf("%064x", i+1)
+		id := fmt.Sprintf("j%06d", i+1)
+		if err := st.PutResult(key, blob); err != nil {
+			b.Fatal(err)
+		}
+		for _, rec := range []store.JobRecord{
+			{Op: store.OpSubmitted, ID: id, Key: key, SubmittedAt: int64(3*i + 1)},
+			{Op: store.OpRunning, ID: id, StartedAt: int64(3*i + 2)},
+			{Op: store.OpDone, ID: id, FinishedAt: int64(3*i + 3)},
+		} {
+			if err := st.Append(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return dir
+}
+
+// BenchmarkStoreRecover measures WAL replay: reopening a data dir with
+// 200 completed job lifecycles (600 records) and rebuilding their merged
+// state.
+func BenchmarkStoreRecover(b *testing.B) {
+	const jobs = 200
+	dir := benchStoreDir(b, jobs, 25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := store.Open(dir, store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := len(st.Recovered()); got != jobs {
+			b.Fatalf("recovered %d jobs, want %d", got, jobs)
+		}
+		st.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*jobs/b.Elapsed().Seconds(), "jobs_recovered/s")
+}
+
+// BenchmarkCacheWarmFromDisk measures a full service boot against a
+// populated data dir: WAL replay plus loading the persisted results into
+// the LRU (the restart path a production daemon pays once).
+func BenchmarkCacheWarmFromDisk(b *testing.B) {
+	const jobs = 64
+	dir := benchStoreDir(b, jobs, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := store.Open(dir, store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := service.New(service.Config{Workers: 1, CacheSize: jobs, Store: st})
+		if got := srv.Stats().WarmedResults; got != jobs {
+			b.Fatalf("warmed %d results, want %d", got, jobs)
+		}
+		srv.Close()
+		st.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*jobs/b.Elapsed().Seconds(), "results_warmed/s")
 }
 
 // --- ablation and substrate benchmarks ---

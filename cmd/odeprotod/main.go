@@ -8,6 +8,14 @@
 //
 //	odeprotod -addr :8080
 //	odeprotod -addr 127.0.0.1:9090 -workers 4 -queue 128 -cache 512
+//	odeprotod -data /var/lib/odeprotod -compact-on-start
+//
+// With -data, job lifecycle transitions are journaled to a segmented,
+// CRC-checksummed WAL and completed results are persisted as
+// content-addressed blobs (internal/store), so a restarted daemon
+// recovers its job list, warms the result cache from disk, and serves
+// previously computed sweeps without re-simulating (see README.md
+// "Durability").
 //
 // Quick tour (see README.md "Running the service" for the full schema):
 //
@@ -34,6 +42,7 @@ import (
 	"time"
 
 	"odeproto/internal/service"
+	"odeproto/internal/store"
 )
 
 func main() {
@@ -52,13 +61,16 @@ func main() {
 func run(ctx context.Context, args []string, ready chan<- string) error {
 	fs := flag.NewFlagSet("odeprotod", flag.ContinueOnError)
 	var (
-		addr         = fs.String("addr", ":8080", "HTTP listen address")
-		workers      = fs.Int("workers", 2, "jobs simulated concurrently")
-		queue        = fs.Int("queue", 64, "bounded job-queue depth (full queue = 503)")
-		cacheSize    = fs.Int("cache", 256, "content-addressed result cache capacity (results, LRU)")
-		sweepWorkers = fs.Int("sweep-workers", 0, "harness worker-pool size per job sweep (0 = all cores)")
-		maxN         = fs.Int("max-n", 0, "per-job group-size limit (0 = service default)")
-		maxPeriods   = fs.Int("max-periods", 0, "per-job period limit (0 = service default)")
+		addr           = fs.String("addr", ":8080", "HTTP listen address")
+		workers        = fs.Int("workers", 2, "jobs simulated concurrently")
+		queue          = fs.Int("queue", 64, "bounded job-queue depth (full queue = 503)")
+		cacheSize      = fs.Int("cache", 256, "content-addressed result cache capacity (results, LRU)")
+		sweepWorkers   = fs.Int("sweep-workers", 0, "harness worker-pool size per job sweep (0 = all cores)")
+		maxN           = fs.Int("max-n", 0, "per-job group-size limit (0 = service default)")
+		maxPeriods     = fs.Int("max-periods", 0, "per-job period limit (0 = service default)")
+		dataDir        = fs.String("data", "", "durable data directory: WAL-journaled jobs + persisted results (empty = in-memory only)")
+		walSegBytes    = fs.Int64("wal-segment-bytes", 0, "rotate WAL segments beyond this size (0 = store default, 4 MiB)")
+		compactOnStart = fs.Bool("compact-on-start", false, "compact the WAL after recovery, dropping superseded records")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -67,12 +79,31 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		return err
 	}
 
+	var backend store.Store
+	if *dataDir != "" {
+		fst, err := store.Open(*dataDir, store.Options{SegmentBytes: *walSegBytes})
+		if err != nil {
+			return fmt.Errorf("opening data dir %s: %w", *dataDir, err)
+		}
+		defer fst.Close() // after srv.Close below: shutdown journals queued-job cancellations
+		if *compactOnStart {
+			if err := fst.Compact(); err != nil {
+				return fmt.Errorf("compacting WAL in %s: %w", *dataDir, err)
+			}
+		}
+		st := fst.Stats()
+		log.Printf("odeprotod: recovered %d jobs from %s (%d WAL segments, %d torn-tail truncations)",
+			st.RecoveredJobs, *dataDir, st.WALSegments, st.TailTruncations)
+		backend = fst
+	}
+
 	srv := service.New(service.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheSize:    *cacheSize,
 		SweepWorkers: *sweepWorkers,
 		Limits:       service.Limits{MaxN: *maxN, MaxPeriods: *maxPeriods},
+		Store:        backend,
 	})
 	defer srv.Close()
 

@@ -15,8 +15,12 @@
 // the engine-agnostic experiment harness that fans those experiments out
 // across cores deterministically and cancellably (internal/harness), and
 // the HTTP compile-and-simulate service that exposes the whole pipeline as
-// a long-running daemon with a content-addressed result cache
-// (internal/service, served by cmd/odeprotod).
+// a long-running daemon with a content-addressed result cache and
+// single-flight deduplication (internal/service, served by cmd/odeprotod),
+// and the durable persistence layer behind it — a segmented checksummed
+// WAL for job lifecycles plus fsync'd content-addressed result blobs,
+// with crash recovery that truncates torn tails and re-serves completed
+// sweeps across restarts (internal/store, enabled by odeprotod -data).
 //
 // See README.md for a package tour, a quickstart, harness usage, and the
 // service's endpoint and cache semantics. The benchmarks in bench_test.go

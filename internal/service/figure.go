@@ -18,7 +18,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errNotFound)
 		return
 	}
-	st := job.Snapshot(true)
+	st := s.snapshotJob(job, true)
 	if st.Status != StatusDone || st.Result == nil {
 		writeError(w, http.StatusConflict,
 			fmt.Errorf("job %s is %s; figures render once it is done", st.ID, st.Status))

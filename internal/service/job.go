@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"odeproto/internal/harness"
 	"odeproto/internal/ode"
 	"odeproto/internal/sim"
+	"odeproto/internal/store"
 )
 
 // Status enumerates a job's lifecycle states.
@@ -296,7 +298,10 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob drives one queued job to a terminal state.
+// runJob drives one queued job to a terminal state, journaling each
+// transition to the durable store. A completed result is persisted (and
+// fsync'd, for the file backend) before the job is marked done, so the
+// WAL never claims a result the disk does not hold.
 func (s *Server) runJob(job *Job) {
 	job.mu.Lock()
 	if job.status != StatusQueued {
@@ -307,16 +312,21 @@ func (s *Server) runJob(job *Job) {
 	cacheable := job.spec.cacheable()
 	key := job.Key
 
-	// A twin job submitted earlier may have populated the cache between
-	// submission and pickup; re-check before simulating (peek: Submit
-	// already counted this job's miss).
+	// A twin job submitted earlier may have populated the cache — or a
+	// previous process the result store — between submission and pickup;
+	// re-check before simulating (peek: Submit already counted this job's
+	// miss).
 	if cacheable {
-		if res, ok := s.cache.peek(key); ok {
+		if res, ok := s.peekResult(key); ok {
 			job.status = StatusRunning
 			job.started = time.Now()
 			job.mu.Unlock()
+			s.journal(store.JobRecord{Op: store.OpRunning, ID: job.ID, Key: key, StartedAt: job.started.UnixNano()})
 			fillRowsFromResult(job.rows, res)
 			job.finish(StatusDone, res, "", true)
+			s.journal(store.JobRecord{Op: store.OpDone, ID: job.ID, Key: key, Cached: true,
+				FinishedAt: time.Now().UnixNano()})
+			s.dropInflight(job)
 			return
 		}
 	}
@@ -326,19 +336,51 @@ func (s *Server) runJob(job *Job) {
 	job.cancel = cancel
 	job.mu.Unlock()
 	defer cancel()
+	// Every worker record stamps the key: if a crash loses the submitter
+	// and its OpSubmitted append raced, the recovered job still knows its
+	// content address and can reload its persisted result.
+	s.journal(store.JobRecord{Op: store.OpRunning, ID: job.ID, Key: key, StartedAt: job.started.UnixNano()})
 
 	res, err := s.execute(ctx, job)
 	switch {
 	case err == nil:
 		if cacheable {
+			if perr := s.persistResult(key, res); perr != nil {
+				// Durability is part of "done": a result that cannot be
+				// stored fails the job rather than silently losing the
+				// crash-recovery guarantee.
+				job.finish(StatusFailed, nil, perr.Error(), false)
+				s.journal(store.JobRecord{Op: store.OpFailed, ID: job.ID, Key: key,
+					Error: perr.Error(), FinishedAt: time.Now().UnixNano()})
+				break
+			}
 			s.cache.put(key, res)
 		}
 		job.finish(StatusDone, res, "", false)
+		s.journal(store.JobRecord{Op: store.OpDone, ID: job.ID, Key: key, FinishedAt: time.Now().UnixNano()})
 	case ctx.Err() != nil:
 		job.finish(StatusCancelled, nil, "job cancelled", false)
+		s.journal(store.JobRecord{Op: store.OpAborted, ID: job.ID, Key: key,
+			Error: "job cancelled", FinishedAt: time.Now().UnixNano()})
 	default:
 		job.finish(StatusFailed, nil, err.Error(), false)
+		s.journal(store.JobRecord{Op: store.OpFailed, ID: job.ID, Key: key,
+			Error: err.Error(), FinishedAt: time.Now().UnixNano()})
 	}
+	s.dropInflight(job)
+}
+
+// persistResult writes a completed result to the durable store under its
+// content address.
+func (s *Server) persistResult(key string, res *JobResult) error {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("encoding result: %w", err)
+	}
+	if err := s.store.PutResult(key, data); err != nil {
+		return fmt.Errorf("persisting result: %w", err)
+	}
+	return nil
 }
 
 // fillRowsFromResult replays a cached result into a fresh job's stream
@@ -372,6 +414,9 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 		job.finished = time.Now()
 		job.mu.Unlock()
 		job.completeStream(StatusCancelled)
+		s.journal(store.JobRecord{Op: store.OpAborted, ID: job.ID, Key: job.Key,
+			Error: "job cancelled before it started", FinishedAt: time.Now().UnixNano()})
+		s.dropInflight(job)
 		return job.Snapshot(false), nil
 	case StatusRunning:
 		cancel := job.cancel

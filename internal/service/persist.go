@@ -1,0 +1,253 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"odeproto/internal/store"
+)
+
+// journal appends one lifecycle record to the durable store. Journaling is
+// best-effort — a failed append is counted in /v1/stats rather than
+// failing the request — but result persistence is not (see runJob: a
+// result that cannot be stored fails its job instead of claiming done).
+func (s *Server) journal(rec store.JobRecord) {
+	if err := s.store.Append(rec); err != nil {
+		s.storeErrs.Add(1)
+	}
+}
+
+// specJSON renders the normalized spec for the submitted WAL record.
+func specJSON(spec *JobSpec) json.RawMessage {
+	data, err := json.Marshal(spec)
+	if err != nil {
+		// JobSpec contains only marshalable types; unreachable.
+		panic(fmt.Sprintf("service: spec marshal: %v", err))
+	}
+	return data
+}
+
+// lookupResult resolves a cache key via the LRU and then the durable
+// result store, so completed sweeps survive restarts. The LRU hit/miss
+// counters see the lookup (a disk hit therefore counts as both a cache
+// miss and a disk hit); disk hits are promoted into the LRU.
+func (s *Server) lookupResult(key string) (*JobResult, bool) {
+	if res, ok := s.cache.get(key); ok {
+		return res, true
+	}
+	return s.resultFromStore(key)
+}
+
+// peekResult is lookupResult without touching the LRU hit/miss counters,
+// for the worker's at-pickup re-check (that lookup retries a miss Submit
+// already counted).
+func (s *Server) peekResult(key string) (*JobResult, bool) {
+	if res, ok := s.cache.peek(key); ok {
+		return res, true
+	}
+	return s.resultFromStore(key)
+}
+
+func (s *Server) resultFromStore(key string) (*JobResult, bool) {
+	data, err := s.store.GetResult(key)
+	if err != nil {
+		// A plain miss is normal; an I/O failure or a blob the WAL claims
+		// exists but cannot be read is a store fault worth counting.
+		if !errors.Is(err, store.ErrNotFound) {
+			s.storeErrs.Add(1)
+		}
+		return nil, false
+	}
+	res := new(JobResult)
+	if err := json.Unmarshal(data, res); err != nil {
+		s.storeErrs.Add(1) // corrupt blob
+		return nil, false
+	}
+	s.diskHits.Add(1)
+	s.cache.put(key, res)
+	return res, true
+}
+
+// restartableErr marks jobs the WAL caught mid-run: the sweep died with
+// the previous process, but the spec is in the log and a resubmission
+// reruns it.
+const restartableErr = "interrupted by daemon restart; resubmit to retry"
+
+// recoverJobs rebuilds the job table from the store's replayed WAL: job
+// metadata and statuses return to /v1/jobs, the most recently finished
+// results warm the LRU from disk (up to its capacity), and jobs that were
+// queued or mid-run at crash time are marked failed-restartable — with
+// that transition journaled, so the next recovery replays them as plain
+// failures. Runs once, from New, before the workers start.
+func (s *Server) recoverJobs() {
+	recovered := s.store.Recovered()
+	if len(recovered) == 0 {
+		return
+	}
+
+	// Choose which results to warm: newest finishers first, one load per
+	// distinct key, bounded by the cache capacity.
+	type finisher struct {
+		key        string
+		finishedAt int64
+	}
+	var finishers []finisher
+	for _, rj := range recovered {
+		if rj.Status == store.OpDone && rj.Key != "" {
+			finishers = append(finishers, finisher{rj.Key, rj.FinishedAt})
+		}
+	}
+	sort.SliceStable(finishers, func(i, j int) bool { return finishers[i].finishedAt > finishers[j].finishedAt })
+	chosen := make([]string, 0, s.cfg.CacheSize)
+	seen := make(map[string]bool)
+	for _, f := range finishers {
+		if len(chosen) == s.cfg.CacheSize {
+			break
+		}
+		if !seen[f.key] {
+			seen[f.key] = true
+			chosen = append(chosen, f.key)
+		}
+	}
+	// Load oldest-first so the newest result ends most recently used.
+	loaded := make(map[string]*JobResult)
+	for i := len(chosen) - 1; i >= 0; i-- {
+		key := chosen[i]
+		data, err := s.store.GetResult(key)
+		if err != nil {
+			continue
+		}
+		res := new(JobResult)
+		if err := json.Unmarshal(data, res); err != nil {
+			continue
+		}
+		s.cache.put(key, res)
+		loaded[key] = res
+	}
+	s.warmed = len(loaded)
+
+	now := time.Now()
+	maxID := 0
+	for _, rj := range recovered {
+		job := &Job{ID: rj.ID, Key: rj.Key, rows: newRowBuffer(), done: make(chan struct{})}
+		if len(rj.Spec) > 0 {
+			_ = json.Unmarshal(rj.Spec, &job.spec)
+		}
+		if rj.SubmittedAt != 0 {
+			job.created = time.Unix(0, rj.SubmittedAt)
+		}
+		if rj.StartedAt != 0 {
+			job.started = time.Unix(0, rj.StartedAt)
+		}
+		if rj.FinishedAt != 0 {
+			job.finished = time.Unix(0, rj.FinishedAt)
+		}
+		var res *JobResult
+		switch {
+		case rj.Interrupted:
+			job.status = StatusFailed
+			job.errMsg = restartableErr
+			job.finished = now
+			s.journal(store.JobRecord{Op: store.OpFailed, ID: job.ID, Error: restartableErr, FinishedAt: now.UnixNano()})
+		case rj.Status == store.OpDone:
+			job.status = StatusDone
+			job.cached = rj.Cached
+			// Warmed results re-attach eagerly; colder ones reload from
+			// disk when something asks (snapshotJob).
+			res = loaded[rj.Key]
+			job.result = res
+		case rj.Status == store.OpFailed:
+			job.status = StatusFailed
+			job.errMsg = rj.Error
+		case rj.Status == store.OpAborted:
+			job.status = StatusCancelled
+			job.errMsg = rj.Error
+		}
+		job.rows.replayResult(res, job.status)
+		close(job.done)
+		s.jobs[job.ID] = job
+		s.order = append(s.order, job.ID)
+		if n := idNumber(job.ID); n > maxID {
+			maxID = n
+		}
+	}
+	s.nextID = maxID
+}
+
+// idNumber extracts the numeric suffix of a job ID ("j000042" → 42) so
+// post-recovery IDs continue past the recovered ones.
+func idNumber(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "j%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// snapshotJob is Job.Snapshot plus the durable fall-through: a job
+// recovered from the WAL carries no in-memory result until something asks
+// for it, at which point the blob is reloaded from the result store.
+func (s *Server) snapshotJob(job *Job, includeResult bool) JobStatus {
+	st := job.Snapshot(includeResult)
+	if includeResult && st.Status == StatusDone && st.Result == nil && job.Key != "" {
+		if res, ok := s.peekResult(job.Key); ok {
+			job.mu.Lock()
+			if job.result == nil {
+				job.result = res
+			}
+			job.mu.Unlock()
+			st.Result = res
+		}
+	}
+	return st
+}
+
+// dropInflight releases a job's single-flight claim once it is terminal.
+func (s *Server) dropInflight(job *Job) {
+	if job.Key == "" {
+		return
+	}
+	s.mu.Lock()
+	if s.inflight[job.Key] == job {
+		delete(s.inflight, job.Key)
+	}
+	s.mu.Unlock()
+}
+
+// handleResult serves a persisted result directly by its cache key (the
+// "cache_key" of every job status): 200 with the result JSON when the key
+// is in the LRU or the durable store, 404 otherwise. Both paths write the
+// same bytes — the stored blob is the canonical encoding the LRU path
+// re-marshals to.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if res, ok := s.cache.peek(key); ok {
+		data, err := json.Marshal(res)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(data)
+		return
+	}
+	data, err := s.store.GetResult(key)
+	switch {
+	case err == nil:
+	case errors.Is(err, store.ErrNotFound):
+		writeError(w, http.StatusNotFound, fmt.Errorf("no result for key %q", key))
+		return
+	default:
+		s.storeErrs.Add(1)
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("reading result %q: %w", key, err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}

@@ -1,0 +1,332 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"odeproto/internal/store"
+)
+
+func openFileStore(t *testing.T, dir string) *store.FileStore {
+	t.Helper()
+	fst, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fst
+}
+
+// TestSingleFlightCoalescesQueuedTwin pins the deterministic core of the
+// single-flight contract: while a job is still in flight (here: parked in
+// the queue behind a busy worker), an identical spec returns the same Job
+// instead of registering a second one.
+func TestSingleFlightCoalescesQueuedTwin(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 8})
+	defer srv.Close()
+
+	hog, err := srv.Submit(slowSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	twinSpec := slowSpec()
+	twinSpec.Seed = 2
+	first, err := srv.Submit(twinSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		dup, err := srv.Submit(twinSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dup != first {
+			t.Fatalf("duplicate submit %d returned job %s, want the in-flight twin %s", i, dup.ID, first.ID)
+		}
+	}
+	if n := srv.stats().CoalescedJobs; n != 5 {
+		t.Fatalf("coalesced_jobs = %d, want 5", n)
+	}
+	// Exactly one registered job per distinct spec.
+	if got := len(srv.stats().Jobs); got == 0 {
+		t.Fatal("stats lost the jobs map")
+	}
+	srv.mu.Lock()
+	registered := len(srv.jobs)
+	srv.mu.Unlock()
+	if registered != 2 {
+		t.Fatalf("%d jobs registered, want 2 (hog + one twin)", registered)
+	}
+	if _, err := srv.Cancel(hog.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Cancel(first.ID); err != nil {
+		t.Fatal(err)
+	}
+	<-first.done
+	// The key is released once the twin is terminal: a fresh submit
+	// registers a new job rather than coalescing onto a cancelled one.
+	fresh, err := srv.Submit(twinSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == first {
+		t.Fatal("submit after cancellation coalesced onto the dead twin")
+	}
+}
+
+// TestSingleFlightConcurrentDuplicatePosts is the regression test the
+// single-flight work item calls for: N concurrent identical POSTs while
+// the first is still running execute exactly one sweep.
+func TestSingleFlightConcurrentDuplicatePosts(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 2})
+
+	const posts = 8
+	var wg sync.WaitGroup
+	ids := make([]string, posts)
+	for i := 0; i < posts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", smallSpec())
+			if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+				t.Errorf("post %d: %d %s", i, resp.StatusCode, data)
+				return
+			}
+			ids[i] = decodeStatus(t, data).ID
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for _, id := range ids {
+		waitStatus(t, ts.URL, id, StatusDone, 30*time.Second)
+	}
+	if n := srv.SweepsExecuted(); n != 1 {
+		t.Fatalf("%d concurrent duplicate POSTs executed %d sweeps, want 1", posts, n)
+	}
+}
+
+func TestResultsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", smallSpec())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	st := decodeStatus(t, data)
+	done := waitStatus(t, ts.URL, st.ID, StatusDone, 30*time.Second)
+
+	resp, body := doJSON(t, http.MethodGet, ts.URL+"/v1/results/"+st.CacheKey, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET result: %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("result content type %q", ct)
+	}
+	want, err := json.Marshal(done.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatalf("result body differs from the job result:\n%.120s\n%.120s", body, want)
+	}
+
+	// Unknown and malformed keys 404.
+	for _, bad := range []string{strings.Repeat("ab", 32), "not-a-key", ".."} {
+		resp, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/results/"+bad, nil)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET bogus result %q: %d, want 404", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestFileBackendPersistsAcrossRestart is the in-package half of the
+// crash-recovery acceptance: a second server on the same data dir
+// recovers the job list, answers the identical spec from disk without a
+// sweep, byte-identical, and replays the recovered job's stream.
+func TestFileBackendPersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	fst := openFileStore(t, dir)
+	srv1 := New(Config{Workers: 1, Store: fst})
+	job, err := srv1.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.done
+	first := job.Snapshot(true)
+	if first.Status != StatusDone || first.Cached {
+		t.Fatalf("first run %+v", first)
+	}
+	firstJSON, err := json.Marshal(first.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1.Close()
+	if err := fst.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fst2 := openFileStore(t, dir)
+	t.Cleanup(func() { fst2.Close() }) // after the server cleanup below
+	srv2, ts := newTestServer(t, Config{Workers: 1, Store: fst2})
+	if n := srv2.SweepsExecuted(); n != 0 {
+		t.Fatalf("fresh process claims %d sweeps", n)
+	}
+
+	// The job list survived, with the result reloadable over HTTP.
+	resp, data := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+job.ID, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET recovered job: %d %s", resp.StatusCode, data)
+	}
+	rec := decodeStatus(t, data)
+	if rec.Status != StatusDone || rec.Result == nil {
+		t.Fatalf("recovered job %+v", rec)
+	}
+	recJSON, err := json.Marshal(rec.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(recJSON, firstJSON) {
+		t.Fatal("recovered result differs from the original")
+	}
+	if rec.Engine != "agent" || rec.N != 400 || rec.Periods != 25 {
+		t.Fatalf("recovered job lost its spec fields: %+v", rec)
+	}
+
+	// The identical spec is served without simulating: the warmed LRU (or
+	// the disk fall-through) answers it done-on-arrival.
+	resp, data = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", smallSpec())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit after restart: %d %s", resp.StatusCode, data)
+	}
+	st := decodeStatus(t, data)
+	if st.Status != StatusDone || !st.Cached || st.CacheKey != job.Key {
+		t.Fatalf("resubmit after restart %+v", st)
+	}
+	if n := srv2.SweepsExecuted(); n != 0 {
+		t.Fatalf("resubmit after restart ran %d sweeps", n)
+	}
+
+	// The recovered job's stream replays its rows (it was warmed).
+	streamResp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer streamResp.Body.Close()
+	body, err := io.ReadAll(streamResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(body), "\n"); got != 26 { // 25 rows + terminal
+		t.Fatalf("recovered stream has %d rows, want 26", got)
+	}
+
+	stats := srv2.stats()
+	if stats.Store.Backend != "file" || stats.Store.RecoveredJobs != 1 {
+		t.Fatalf("store stats %+v", stats.Store)
+	}
+	if stats.WarmedResults != 1 {
+		t.Fatalf("warmed_results = %d, want 1", stats.WarmedResults)
+	}
+}
+
+// TestRecoveryMarksInterruptedJobs replays a WAL that ends mid-run (a
+// crash between running and any terminal record): the job must come back
+// failed-restartable, the transition must be journaled for the next
+// recovery, and new IDs must continue past the recovered ones.
+func TestRecoveryMarksInterruptedJobs(t *testing.T) {
+	dir := t.TempDir()
+	fst := openFileStore(t, dir)
+	spec := smallSpec()
+	specData, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("0badc0de", 8)
+	for _, rec := range []store.JobRecord{
+		{Op: store.OpSubmitted, ID: "j000007", Key: key, Spec: specData, SubmittedAt: time.Now().UnixNano()},
+		{Op: store.OpRunning, ID: "j000007", StartedAt: time.Now().UnixNano()},
+	} {
+		if err := fst.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fst.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fst2 := openFileStore(t, dir)
+	srv := New(Config{Workers: 1, Store: fst2})
+	job, ok := srv.job("j000007")
+	if !ok {
+		t.Fatal("interrupted job not recovered")
+	}
+	st := job.Snapshot(false)
+	if st.Status != StatusFailed || !strings.Contains(st.Error, "restart") {
+		t.Fatalf("interrupted job recovered as %+v", st)
+	}
+	next, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.ID != "j000008" {
+		t.Fatalf("post-recovery ID %s, want j000008", next.ID)
+	}
+	<-next.done
+	srv.Close()
+	if err := fst2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third generation: the failed-restartable transition was journaled,
+	// so the job replays as a plain failure (not interrupted again), and
+	// the resubmitted twin replays as done.
+	fst3 := openFileStore(t, dir)
+	defer fst3.Close()
+	recovered := fst3.Recovered()
+	if len(recovered) != 2 {
+		t.Fatalf("third generation recovered %d jobs, want 2", len(recovered))
+	}
+	if recovered[0].Status != store.OpFailed || recovered[0].Interrupted {
+		t.Fatalf("interrupted job's journaled failure did not stick: %+v", recovered[0])
+	}
+	if recovered[1].Status != store.OpDone {
+		t.Fatalf("resubmitted twin = %+v", recovered[1])
+	}
+}
+
+// TestPutResultFailureFailsTheJob: if the durable store cannot hold the
+// result, the job must not claim done — the WAL would promise a blob the
+// disk does not have.
+func TestPutResultFailureFailsTheJob(t *testing.T) {
+	srv := New(Config{Workers: 1, Store: failingStore{}})
+	defer srv.Close()
+	job, err := srv.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.done
+	st := job.Snapshot(false)
+	if st.Status != StatusFailed || !strings.Contains(st.Error, "persisting result") {
+		t.Fatalf("job with a failing store finished %+v", st)
+	}
+}
+
+// failingStore accepts journal records but refuses result blobs.
+type failingStore struct{}
+
+func (failingStore) Append(rec store.JobRecord) error        { return nil }
+func (failingStore) PutResult(key string, data []byte) error { return fmt.Errorf("disk full") }
+func (failingStore) GetResult(key string) ([]byte, error)    { return nil, store.ErrNotFound }
+func (failingStore) Recovered() []store.RecoveredJob         { return nil }
+func (failingStore) Compact() error                          { return nil }
+func (failingStore) Stats() store.Stats                      { return store.Stats{Backend: "failing"} }
+func (failingStore) Close() error                            { return nil }

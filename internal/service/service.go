@@ -12,16 +12,27 @@
 // asyncnet engine is the one exception — it schedules real goroutines
 // against wall-clock timers — and is therefore never cached.
 //
+// Durability is pluggable (internal/store): job lifecycle transitions are
+// journaled to the configured Store and completed results are written as
+// content-addressed blobs before their job is marked done, so with the
+// file backend a restarted daemon recovers its job list, warms the LRU
+// from disk, serves previously computed results without re-simulating,
+// and marks jobs the crash caught mid-run as failed-restartable. An
+// identical cacheable spec POSTed while its twin is still in flight
+// coalesces onto the in-flight job (single-flight deduplication) instead
+// of running a second sweep.
+//
 // Endpoints:
 //
 //	POST   /v1/compile             ODE source → taxonomy, actions, expected flow
-//	POST   /v1/jobs                enqueue a sweep (or answer it from cache)
+//	POST   /v1/jobs                enqueue a sweep (or answer it from cache/disk)
 //	GET    /v1/jobs                list job statuses
 //	GET    /v1/jobs/{id}           status + result
 //	DELETE /v1/jobs/{id}           cancel a queued or running job
 //	GET    /v1/jobs/{id}/stream    NDJSON per-period counts as the run progresses
 //	GET    /v1/jobs/{id}/figure.svg  rendered trajectory (internal/plot)
-//	GET    /v1/stats               cache/queue/worker counters
+//	GET    /v1/results/{key}       fetch a persisted result by cache key
+//	GET    /v1/stats               cache/queue/worker/store counters
 //	GET    /v1/healthz             liveness
 package service
 
@@ -35,6 +46,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"odeproto/internal/store"
 )
 
 // Config sizes the service.
@@ -52,6 +65,11 @@ type Config struct {
 	SweepWorkers int
 	// Limits bound a single job's size; zero fields take the defaults.
 	Limits Limits
+	// Store persists job lifecycle records and completed results; nil
+	// selects the in-memory (non-durable) backend. The caller owns the
+	// store's lifetime and must Close it only after Server.Close returns
+	// (shutdown journals the cancellation of still-queued jobs).
+	Store store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -79,19 +97,25 @@ func (c Config) withDefaults() Config {
 	if c.Limits.MaxRows == 0 {
 		c.Limits.MaxRows = defaultLimits.MaxRows
 	}
+	if c.Store == nil {
+		c.Store = store.NewMemory()
+	}
 	return c
 }
 
 // Server is the compile-and-simulate service: job store, bounded queue,
-// worker pool, and content-addressed result cache.
+// worker pool, content-addressed result cache, and the durable store
+// behind it.
 type Server struct {
 	cfg   Config
 	cache *resultCache
+	store store.Store
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string // insertion order, for listing
-	nextID int
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // insertion order, for listing
+	nextID   int
+	inflight map[string]*Job // cache key → non-terminal job, for single-flight dedup
 
 	queue      chan *Job
 	baseCtx    context.Context
@@ -100,23 +124,31 @@ type Server struct {
 	closeOnce  sync.Once
 	closed     atomic.Bool
 
-	sweeps atomic.Int64
+	sweeps    atomic.Int64
+	coalesced atomic.Int64
+	diskHits  atomic.Int64
+	storeErrs atomic.Int64
+	warmed    int // results loaded from disk into the LRU at startup
 }
 
 var errNotFound = errors.New("job not found")
 
-// New builds a Server and starts its worker pool. Call Close to stop it.
+// New builds a Server, recovers any state the configured store journaled
+// before a restart, and starts the worker pool. Call Close to stop it.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		cache:      newResultCache(cfg.CacheSize),
+		store:      cfg.Store,
 		jobs:       make(map[string]*Job),
+		inflight:   make(map[string]*Job),
 		queue:      make(chan *Job, cfg.QueueDepth),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
+	s.recoverJobs()
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -146,6 +178,9 @@ func (s *Server) Close() {
 				job.finished = time.Now()
 				job.mu.Unlock()
 				job.completeStream(StatusCancelled)
+				s.journal(store.JobRecord{Op: store.OpAborted, ID: job.ID, Key: job.Key,
+					Error: "service shut down before the job started", FinishedAt: time.Now().UnixNano()})
+				s.dropInflight(job)
 			default:
 				return
 			}
@@ -166,9 +201,11 @@ func (s *Server) job(id string) (*Job, bool) {
 	return j, ok
 }
 
-// Submit validates, compiles, and registers a job. Cache hits return an
-// already-done job; misses are enqueued. A full queue returns an error
-// that the HTTP layer maps to 503.
+// Submit validates, compiles, and registers a job. Hits in the LRU or the
+// durable result store return an already-done job; an identical cacheable
+// spec still in flight returns the in-flight twin (single-flight
+// deduplication); everything else is enqueued. A full queue returns an
+// error that the HTTP layer maps to 503.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if s.closed.Load() {
 		return nil, errQueueFull
@@ -190,35 +227,77 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	}
 
 	if spec.cacheable() {
-		if res, ok := s.cache.get(key); ok {
+		if res, ok := s.lookupResult(key); ok {
 			job.status = StatusDone
 			job.result = res
 			job.cached = true
 			job.started = job.created
 			job.finished = time.Now()
-			fillRowsFromResult(job.rows, res)
-			job.rows.append(StreamRow{Event: string(StatusDone), Period: -1})
-			job.rows.closeBuf()
+			job.rows.replayResult(res, StatusDone)
 			close(job.done)
 			s.register(job)
+			// One snapshot-style record, not a submitted/done pair: this is
+			// the hot path (no sweep runs), and each append is an fsync.
+			s.journal(store.JobRecord{Op: store.OpDone, ID: job.ID, Key: key,
+				Spec: specJSON(&spec), Cached: true,
+				SubmittedAt: job.created.UnixNano(), FinishedAt: job.finished.UnixNano()})
 			return job, nil
 		}
 	}
 
-	s.register(job)
+	// Twin check, registration, and enqueue form one critical section: a
+	// coalescing submitter must never be handed a job that a concurrent
+	// queue-full withdrawal is about to discard.
+	s.mu.Lock()
+	if spec.cacheable() {
+		if twin, ok := s.inflight[key]; ok {
+			// The twin may be a hair past finish() with its inflight entry
+			// not yet dropped; coalescing onto a terminal job would hand
+			// this submitter a cancelled/failed result it never asked to
+			// share. Only live twins coalesce — a dead one is overwritten
+			// below (its own dropInflight compares pointers, so it cannot
+			// remove our claim later).
+			twin.mu.Lock()
+			live := twin.status == StatusQueued || twin.status == StatusRunning
+			twin.mu.Unlock()
+			if live {
+				s.mu.Unlock()
+				s.coalesced.Add(1)
+				return twin, nil
+			}
+		}
+	}
+	s.nextID++
+	job.ID = fmt.Sprintf("j%06d", s.nextID)
 	select {
 	case s.queue <- job:
-		return job, nil
 	default:
-		// Bounded queue full: withdraw the job and push back.
-		s.unregister(job.ID)
+		// Bounded queue full: the job was never visible, reuse its ID.
+		s.nextID--
+		s.mu.Unlock()
 		return nil, errQueueFull
 	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	if spec.cacheable() {
+		s.inflight[key] = job
+	}
+	s.mu.Unlock()
+
+	// Journal after the enqueue so a full queue leaves no ghost record.
+	// The worker's own records may interleave before this one; WAL replay
+	// merges by rank, and the worker stamps the key on every record, so
+	// even a crash that loses this append leaves the result reachable.
+	s.journal(store.JobRecord{Op: store.OpSubmitted, ID: job.ID, Key: key,
+		Spec: specJSON(&spec), SubmittedAt: job.created.UnixNano()})
+	return job, nil
 }
 
 var errQueueFull = errors.New("job queue is full")
 
-// register assigns an ID and stores the job.
+// register assigns an ID and stores an already-terminal job (the
+// done-on-arrival cache-hit path; queued jobs register inside Submit's
+// enqueue critical section).
 func (s *Server) register(job *Job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -228,18 +307,6 @@ func (s *Server) register(job *Job) {
 	s.order = append(s.order, job.ID)
 }
 
-func (s *Server) unregister(id string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.jobs, id)
-	for i, jid := range s.order {
-		if jid == id {
-			s.order = append(s.order[:i], s.order[i+1:]...)
-			break
-		}
-	}
-}
-
 // Stats is the body of GET /v1/stats.
 type Stats struct {
 	Jobs           map[Status]int `json:"jobs"`
@@ -247,8 +314,26 @@ type Stats struct {
 	QueueCapacity  int            `json:"queue_capacity"`
 	Workers        int            `json:"workers"`
 	SweepsExecuted int64          `json:"sweeps_executed"`
-	Cache          CacheStats     `json:"cache"`
+	// CoalescedJobs counts submissions answered by returning an identical
+	// in-flight job (single-flight deduplication).
+	CoalescedJobs int64      `json:"coalesced_jobs"`
+	Cache         CacheStats `json:"cache"`
+	// ResultDiskHits counts LRU misses answered from the durable result
+	// store (each also appears in the cache miss counter).
+	ResultDiskHits int64 `json:"result_disk_hits"`
+	// WarmedResults counts results loaded from disk into the LRU at
+	// startup.
+	WarmedResults int `json:"warmed_results"`
+	// StoreErrors counts store faults the service absorbed: failed WAL
+	// appends (journaling is best-effort) and result blobs that exist but
+	// cannot be read or decoded.
+	StoreErrors int64       `json:"store_errors"`
+	Store       store.Stats `json:"store"`
 }
+
+// Stats returns a snapshot of the service counters (the body of GET
+// /v1/stats).
+func (s *Server) Stats() Stats { return s.stats() }
 
 func (s *Server) stats() Stats {
 	st := Stats{
@@ -256,7 +341,12 @@ func (s *Server) stats() Stats {
 		QueueCapacity:  s.cfg.QueueDepth,
 		Workers:        s.cfg.Workers,
 		SweepsExecuted: s.sweeps.Load(),
+		CoalescedJobs:  s.coalesced.Load(),
 		Cache:          s.cache.stats(),
+		ResultDiskHits: s.diskHits.Load(),
+		WarmedResults:  s.warmed,
+		StoreErrors:    s.storeErrs.Load(),
+		Store:          s.store.Stats(),
 	}
 	s.mu.Lock()
 	for _, id := range s.order {
@@ -283,6 +373,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/jobs/{id}/figure.svg", s.handleFigure)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -376,7 +467,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errNotFound)
 		return
 	}
-	writeJSON(w, http.StatusOK, job.Snapshot(true))
+	writeJSON(w, http.StatusOK, s.snapshotJob(job, true))
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

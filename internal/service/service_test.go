@@ -7,15 +7,31 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"odeproto/internal/store"
 )
 
 const epidemicSource = "x' = -x*y\ny' = x*y\n"
 
+// newTestServer boots a Server over httptest. With ODEPROTO_TEST_DATA set
+// (the CI file-backend pass), every test server runs against a file store
+// in a temp dir instead of the default in-memory backend, so the whole
+// service suite exercises the durable path.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
+	if cfg.Store == nil && os.Getenv("ODEPROTO_TEST_DATA") != "" {
+		fst, err := store.Open(filepath.Join(t.TempDir(), "data"), store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { fst.Close() }) // runs after the server cleanup below
+		cfg.Store = fst
+	}
 	srv := New(cfg)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {

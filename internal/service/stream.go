@@ -71,6 +71,19 @@ func (b *rowBuffer) wait(have int, giveUp func() bool) ([][]byte, bool) {
 	return b.rows, b.closed
 }
 
+// replayResult fills the buffer from an already-finished result — so
+// /stream behaves identically for cache hits and for jobs recovered from
+// the durable store — then seals it with the terminal event row. A nil
+// result (a recovered job whose blob was never persisted or has gone
+// cold) yields just the terminal row.
+func (b *rowBuffer) replayResult(res *JobResult, terminal Status) {
+	if res != nil {
+		fillRowsFromResult(b, res)
+	}
+	b.append(StreamRow{Event: string(terminal), Period: -1})
+	b.closeBuf()
+}
+
 // broadcast wakes all waiting readers without changing state.
 func (b *rowBuffer) broadcast() {
 	b.mu.Lock()

@@ -1,0 +1,282 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures the file backend.
+type Options struct {
+	// SegmentBytes rotates the WAL to a new segment beyond this size
+	// (default 4 MiB).
+	SegmentBytes int64
+}
+
+const defaultSegmentBytes = 4 << 20
+
+// FileStore is the durable backend: a segmented WAL under <dir>/wal plus
+// content-addressed result blobs under <dir>/results/<prefix>/<key>.
+type FileStore struct {
+	mu   sync.Mutex
+	dir  string
+	wal  *wal
+	lock *os.File // flock'd LOCK file guarding the dir against a second process
+
+	jobs  map[string]*RecoveredJob // merged state, kept current across appends
+	order []string                 // first-seen order, preserved across compaction
+
+	recovered []RecoveredJob // state snapshot taken at Open
+
+	records        int64
+	resultsWritten int64
+	resultBytes    int64
+	compactions    int64
+	closed         bool
+}
+
+// Open replays the WAL under dir (creating the layout on first use) and
+// returns a store ready for appends. Torn or corrupted WAL tails are
+// truncated, never fatal; the jobs they strand mid-run are reported by
+// Recovered with Interrupted set. The dir is flock'd for the store's
+// lifetime: a second process opening the same dir would replay (and
+// truncate) records the first is still appending, so it fails fast
+// instead. The kernel releases the lock when the holder dies, which is
+// what lets a restarted daemon recover from a crash without cleanup.
+func Open(dir string, opts Options) (*FileStore, error) {
+	segBytes := opts.SegmentBytes
+	if segBytes <= 0 {
+		segBytes = defaultSegmentBytes
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "results"), 0o755); err != nil {
+		return nil, err
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	w, recs, err := openWAL(filepath.Join(dir, "wal"), segBytes)
+	if err != nil {
+		lock.Close()
+		return nil, err
+	}
+	s := &FileStore{dir: dir, wal: w, lock: lock, jobs: make(map[string]*RecoveredJob)}
+	for _, rec := range recs {
+		s.apply(rec)
+	}
+	s.recovered = make([]RecoveredJob, 0, len(s.order))
+	for _, id := range s.order {
+		rj := *s.jobs[id]
+		rj.Interrupted = opRank(rj.Status) < rankTerminal
+		s.recovered = append(s.recovered, rj)
+	}
+	return s, nil
+}
+
+// apply merges one record into the live per-job state; callers hold s.mu
+// (or run single-threaded during Open).
+func (s *FileStore) apply(rec JobRecord) {
+	j := s.jobs[rec.ID]
+	if j == nil {
+		j = &RecoveredJob{ID: rec.ID}
+		s.jobs[rec.ID] = j
+		s.order = append(s.order, rec.ID)
+	}
+	if opRank(rec.Op) >= opRank(j.Status) {
+		j.Status = rec.Op
+	}
+	if rec.Key != "" {
+		j.Key = rec.Key
+	}
+	if len(rec.Spec) > 0 {
+		j.Spec = rec.Spec
+	}
+	if rec.Error != "" {
+		j.Error = rec.Error
+	}
+	if rec.Cached {
+		j.Cached = true
+	}
+	if rec.SubmittedAt != 0 {
+		j.SubmittedAt = rec.SubmittedAt
+	}
+	if rec.StartedAt != 0 {
+		j.StartedAt = rec.StartedAt
+	}
+	if rec.FinishedAt != 0 {
+		j.FinishedAt = rec.FinishedAt
+	}
+}
+
+// Append journals one lifecycle transition: framed, CRC'd, written, and
+// fsync'd before returning.
+func (s *FileStore) Append(rec JobRecord) error {
+	if rec.ID == "" {
+		return fmt.Errorf("store: record without a job id")
+	}
+	if opRank(rec.Op) < 0 {
+		return fmt.Errorf("store: unknown op %q", rec.Op)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	if err := s.wal.append(rec); err != nil {
+		return err
+	}
+	s.apply(rec)
+	s.records++
+	return nil
+}
+
+// resultPath maps a cache key to its blob path, refusing anything that is
+// not a plain lowercase-hex key: the keys are SHA-256 hashes, and anything
+// else (separators, dots) could escape the data dir.
+func resultPath(dir, key string) (string, error) {
+	if len(key) < 4 || len(key) > 128 {
+		return "", fmt.Errorf("store: bad result key %q", key)
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return "", fmt.Errorf("store: bad result key %q", key)
+		}
+	}
+	return filepath.Join(dir, "results", key[:2], key), nil
+}
+
+var tmpSeq atomic.Int64
+
+// PutResult durably stores a completed result blob under its content
+// address: written to a temp file, fsync'd, and renamed into place, so a
+// crash leaves either the whole blob or nothing, never a torn read for a
+// key the WAL says is done.
+func (s *FileStore) PutResult(key string, data []byte) error {
+	path, err := resultPath(s.dir, key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := fmt.Sprintf("%s.tmp%d", path, tmpSeq.Add(1))
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.resultsWritten++
+	s.resultBytes += int64(len(data))
+	s.mu.Unlock()
+	return nil
+}
+
+// GetResult returns the stored blob for key, or ErrNotFound.
+func (s *FileStore) GetResult(key string) ([]byte, error) {
+	path, err := resultPath(s.dir, key)
+	if err != nil {
+		return nil, ErrNotFound
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Recovered returns the jobs rebuilt from the WAL at Open time, in
+// first-submitted order.
+func (s *FileStore) Recovered() []RecoveredJob {
+	return append([]RecoveredJob(nil), s.recovered...)
+}
+
+// Compact rewrites the WAL to one snapshot record per job, dropping every
+// superseded transition, and replaces all segments with a single one.
+func (s *FileStore) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	recs := make([]JobRecord, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		recs = append(recs, JobRecord{
+			Op:          j.Status,
+			ID:          j.ID,
+			Key:         j.Key,
+			Spec:        j.Spec,
+			Error:       j.Error,
+			Cached:      j.Cached,
+			SubmittedAt: j.SubmittedAt,
+			StartedAt:   j.StartedAt,
+			FinishedAt:  j.FinishedAt,
+		})
+	}
+	if err := s.wal.compact(recs); err != nil {
+		return err
+	}
+	s.compactions++
+	return nil
+}
+
+func (s *FileStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Backend:         "file",
+		RecordsAppended: s.records,
+		WALSegments:     s.wal.segments,
+		WALBytes:        s.wal.totalBytes,
+		ResultsWritten:  s.resultsWritten,
+		ResultBytes:     s.resultBytes,
+		RecoveredJobs:   len(s.recovered),
+		TailTruncations: s.wal.truncations,
+		Compactions:     s.compactions,
+	}
+}
+
+// Close fsyncs and closes the open WAL segment and releases the dir lock.
+// Appends after Close fail.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.wal.close()
+	if s.lock != nil {
+		s.lock.Close() // closing the fd drops the flock
+		s.lock = nil
+	}
+	return err
+}

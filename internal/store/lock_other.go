@@ -1,0 +1,15 @@
+//go:build !unix
+
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// lockDir opens the LOCK file without an OS advisory lock: flock has no
+// portable equivalent off unix, so non-unix builds rely on the operator
+// not to point two daemons at one data dir.
+func lockDir(dir string) (*os.File, error) {
+	return os.OpenFile(filepath.Join(dir, "LOCK"), os.O_RDWR|os.O_CREATE, 0o644)
+}

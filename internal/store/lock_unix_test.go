@@ -1,0 +1,21 @@
+//go:build unix
+
+package store
+
+import "testing"
+
+func TestDataDirLockedAgainstSecondOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("second Open on a live data dir succeeded; it would truncate records the first is appending")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	s2.Close()
+}

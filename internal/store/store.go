@@ -1,0 +1,163 @@
+// Package store provides durable persistence for the odeprotod service: a
+// Store journals job lifecycle transitions and holds completed results as
+// content-addressed blobs, with two backends — a no-op in-memory store
+// (the daemon's historical behavior: nothing survives a restart) and a
+// crash-safe file store that journals transitions to a segmented,
+// CRC-checksummed append-only WAL and writes results as fsync'd blobs
+// under results/<prefix>/<key>.
+//
+// The file store's recovery contract: Open replays every WAL segment in
+// order, merging each job's records into its latest state. A torn or
+// corrupted record truncates its segment at the last good byte instead of
+// failing startup — the tail of an append-only log is the only place a
+// crash can leave bytes in doubt, and a checksummed frame makes the cut
+// point unambiguous. Jobs whose log ends before a terminal record were
+// mid-run at crash time and are surfaced with Interrupted set so the
+// service can mark them failed-restartable.
+//
+// Results are immutable blobs keyed by the SHA-256 cache key of the spec
+// that produced them, so durability needs no coordination: a blob is
+// written (fsync + atomic rename) before the WAL records its job as done,
+// and rewriting the same key writes the same bytes.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+)
+
+// Op enumerates the job lifecycle transitions journaled to the WAL.
+type Op string
+
+const (
+	OpSubmitted Op = "submitted"
+	OpRunning   Op = "running"
+	OpDone      Op = "done"
+	OpFailed    Op = "failed"
+	OpAborted   Op = "aborted"
+)
+
+// opRank orders lifecycle ops so that replay merges out-of-order records
+// safely: a terminal record is never overwritten by a late-arriving
+// submitted/running record (appends from concurrent goroutines may
+// interleave in the WAL in either order).
+func opRank(op Op) int {
+	switch op {
+	case OpSubmitted:
+		return 0
+	case OpRunning:
+		return 1
+	case OpDone, OpFailed, OpAborted:
+		return rankTerminal
+	default:
+		return -1
+	}
+}
+
+const rankTerminal = 2
+
+// JobRecord is one WAL entry: a patch to one job's state. Each op stamps
+// the fields it owns (submitted carries the spec and key, terminal ops the
+// error/cached flags); compaction snapshots carry everything at once.
+type JobRecord struct {
+	Op     Op              `json:"op"`
+	ID     string          `json:"id"`
+	Key    string          `json:"key,omitempty"`
+	Spec   json.RawMessage `json:"spec,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Cached bool            `json:"cached,omitempty"`
+	// Timestamps are Unix nanoseconds; zero means "not this transition".
+	SubmittedAt int64 `json:"submitted_at,omitempty"`
+	StartedAt   int64 `json:"started_at,omitempty"`
+	FinishedAt  int64 `json:"finished_at,omitempty"`
+}
+
+// RecoveredJob is one job's state as rebuilt from the WAL at Open time.
+type RecoveredJob struct {
+	ID     string
+	Key    string
+	Spec   json.RawMessage
+	Status Op // the rank-highest op replayed for this job
+	Error  string
+	Cached bool
+
+	SubmittedAt int64
+	StartedAt   int64
+	FinishedAt  int64
+
+	// Interrupted marks a job whose WAL ends before a terminal record: it
+	// was queued or mid-run when the previous process died.
+	Interrupted bool
+}
+
+// Stats is the store section of the service's /v1/stats.
+type Stats struct {
+	Backend         string `json:"backend"`
+	RecordsAppended int64  `json:"records_appended"`
+	WALSegments     int    `json:"wal_segments"`
+	WALBytes        int64  `json:"wal_bytes"`
+	ResultsWritten  int64  `json:"results_written"`
+	ResultBytes     int64  `json:"result_bytes"`
+	RecoveredJobs   int    `json:"recovered_jobs"`
+	TailTruncations int64  `json:"tail_truncations"`
+	Compactions     int64  `json:"compactions"`
+}
+
+// ErrNotFound reports a result key with no stored blob.
+var ErrNotFound = errors.New("store: result not found")
+
+var errClosed = errors.New("store: closed")
+
+// Store persists job lifecycle records and completed results.
+//
+// Append journals one lifecycle transition. PutResult durably stores a
+// completed result under its content address — implementations must not
+// return until the blob survives a crash (the service only marks a job
+// done afterwards). GetResult returns the stored blob or ErrNotFound.
+// Recovered returns the jobs rebuilt from the log at open time, in
+// first-submitted order. Compact rewrites the log to one record per job,
+// dropping superseded transitions.
+type Store interface {
+	Append(rec JobRecord) error
+	PutResult(key string, data []byte) error
+	GetResult(key string) ([]byte, error)
+	Recovered() []RecoveredJob
+	Compact() error
+	Stats() Stats
+	Close() error
+}
+
+// memory is the no-op backend preserving the service's historical
+// in-memory behavior: lifecycle records are counted and dropped, results
+// live only in the service's LRU, and a restart forgets everything.
+type memory struct {
+	mu      sync.Mutex
+	records int64
+}
+
+// NewMemory returns the in-memory (non-durable) backend.
+func NewMemory() Store { return &memory{} }
+
+func (m *memory) Append(rec JobRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.records++
+	return nil
+}
+
+func (m *memory) PutResult(key string, data []byte) error { return nil }
+
+func (m *memory) GetResult(key string) ([]byte, error) { return nil, ErrNotFound }
+
+func (m *memory) Recovered() []RecoveredJob { return nil }
+
+func (m *memory) Compact() error { return nil }
+
+func (m *memory) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{Backend: "memory", RecordsAppended: m.records}
+}
+
+func (m *memory) Close() error { return nil }

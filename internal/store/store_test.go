@@ -1,0 +1,403 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) *FileStore {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+func lifecycle(id, key string) []JobRecord {
+	return []JobRecord{
+		{Op: OpSubmitted, ID: id, Key: key, Spec: json.RawMessage(`{"n":400}`), SubmittedAt: 100},
+		{Op: OpRunning, ID: id, StartedAt: 200},
+		{Op: OpDone, ID: id, FinishedAt: 300},
+	}
+}
+
+func TestMemoryStoreIsNoop(t *testing.T) {
+	m := NewMemory()
+	if err := m.Append(JobRecord{Op: OpSubmitted, ID: "j1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PutResult("abcd", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.GetResult("abcd"); err != ErrNotFound {
+		t.Fatalf("memory GetResult err = %v, want ErrNotFound", err)
+	}
+	if got := m.Recovered(); got != nil {
+		t.Fatalf("memory Recovered = %v, want nil", got)
+	}
+	st := m.Stats()
+	if st.Backend != "memory" || st.RecordsAppended != 1 {
+		t.Fatalf("memory stats %+v", st)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileStoreAppendRecover(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if got := s.Recovered(); len(got) != 0 {
+		t.Fatalf("fresh store recovered %d jobs", len(got))
+	}
+	for _, rec := range lifecycle("j000001", "aaaa") {
+		if err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// j000002 never reaches a terminal record: interrupted.
+	if err := s.Append(JobRecord{Op: OpSubmitted, ID: "j000002", Key: "bbbb", SubmittedAt: 400}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(JobRecord{Op: OpRunning, ID: "j000002", StartedAt: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// j000003 fails.
+	if err := s.Append(JobRecord{Op: OpSubmitted, ID: "j000003", SubmittedAt: 600}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(JobRecord{Op: OpFailed, ID: "j000003", Error: "boom", FinishedAt: 700}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(JobRecord{Op: OpRunning, ID: "j000001"}); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	got := s2.Recovered()
+	if len(got) != 3 {
+		t.Fatalf("recovered %d jobs, want 3", len(got))
+	}
+	j1, j2, j3 := got[0], got[1], got[2]
+	if j1.ID != "j000001" || j1.Status != OpDone || j1.Interrupted {
+		t.Fatalf("j1 = %+v", j1)
+	}
+	if j1.Key != "aaaa" || string(j1.Spec) != `{"n":400}` {
+		t.Fatalf("j1 lost submit fields: %+v", j1)
+	}
+	if j1.SubmittedAt != 100 || j1.StartedAt != 200 || j1.FinishedAt != 300 {
+		t.Fatalf("j1 timestamps %+v", j1)
+	}
+	if j2.ID != "j000002" || j2.Status != OpRunning || !j2.Interrupted {
+		t.Fatalf("j2 = %+v", j2)
+	}
+	if j3.Status != OpFailed || j3.Error != "boom" || j3.Interrupted {
+		t.Fatalf("j3 = %+v", j3)
+	}
+	if st := s2.Stats(); st.Backend != "file" || st.RecoveredJobs != 3 || st.TailTruncations != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestOutOfOrderRecordsMergeByRank(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	// The worker's done record lands before the submitter's submitted
+	// record (both goroutines race to the WAL).
+	if err := s.Append(JobRecord{Op: OpDone, ID: "j000009", FinishedAt: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(JobRecord{Op: OpSubmitted, ID: "j000009", Key: "cccc", SubmittedAt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	got := s2.Recovered()
+	if len(got) != 1 || got[0].Status != OpDone || got[0].Interrupted {
+		t.Fatalf("out-of-order merge = %+v", got)
+	}
+	if got[0].Key != "cccc" {
+		t.Fatalf("late submitted record lost its key: %+v", got[0])
+	}
+}
+
+func TestResultRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	defer s.Close()
+
+	key := "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+	if _, err := s.GetResult(key); err != ErrNotFound {
+		t.Fatalf("missing result err = %v, want ErrNotFound", err)
+	}
+	blob := []byte(`{"states":["x","y"],"runs":[]}`)
+	if err := s.PutResult(key, blob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetResult(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("GetResult = %q, want %q", got, blob)
+	}
+	// The blob lands under results/<first-two-hex>/<key>, atomically (no
+	// leftover temp files).
+	path := filepath.Join(dir, "results", key[:2], key)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("blob not at %s: %v", path, err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "results", key[:2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("result dir holds %d entries, want just the blob", len(entries))
+	}
+	if st := s.Stats(); st.ResultsWritten != 1 || st.ResultBytes != int64(len(blob)) {
+		t.Fatalf("result stats %+v", st)
+	}
+
+	// Keys that are not plain lowercase hex are rejected, not resolved as
+	// paths.
+	for _, bad := range []string{"", "ab", "../../etc/passwd", "ABCDEF012345", "abcd/efgh", "abcdefg."} {
+		if err := s.PutResult(bad, blob); err == nil {
+			t.Fatalf("PutResult accepted key %q", bad)
+		}
+		if _, err := s.GetResult(bad); err != ErrNotFound {
+			t.Fatalf("GetResult(%q) err = %v, want ErrNotFound", bad, err)
+		}
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	// ~100-byte records against a 256-byte bound: rotation every couple of
+	// appends.
+	s := mustOpen(t, dir, Options{SegmentBytes: 256})
+	var want []string
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("j%06d", i+1)
+		want = append(want, id)
+		if err := s.Append(JobRecord{Op: OpSubmitted, ID: id, Key: "abcd", SubmittedAt: int64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.WALSegments < 2 {
+		t.Fatalf("no rotation happened: %+v", st)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, Options{SegmentBytes: 256})
+	defer s2.Close()
+	got := s2.Recovered()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d jobs across segments, want %d", len(got), len(want))
+	}
+	for i, rj := range got {
+		if rj.ID != want[i] {
+			t.Fatalf("recovered[%d] = %s, want %s (order lost)", i, rj.ID, want[i])
+		}
+	}
+}
+
+func TestCompactionDropsSupersededRecords(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{SegmentBytes: 512})
+	const jobs = 12
+	for i := 0; i < jobs; i++ {
+		for _, rec := range lifecycle(fmt.Sprintf("j%06d", i+1), "abcd") {
+			if err := s.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before := s.Stats()
+	if before.WALSegments < 2 {
+		t.Fatalf("test wants multiple segments before compaction, got %+v", before)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	if after.WALSegments != 1 || after.Compactions != 1 {
+		t.Fatalf("post-compaction stats %+v", after)
+	}
+	if after.WALBytes >= before.WALBytes {
+		t.Fatalf("compaction grew the WAL: %d -> %d bytes", before.WALBytes, after.WALBytes)
+	}
+
+	// Appends continue on the compacted segment, and recovery sees the
+	// same merged state: one record per job, nothing lost.
+	if err := s.Append(JobRecord{Op: OpSubmitted, ID: "j000099", SubmittedAt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, Options{SegmentBytes: 512})
+	defer s2.Close()
+	got := s2.Recovered()
+	if len(got) != jobs+1 {
+		t.Fatalf("recovered %d jobs after compaction, want %d", len(got), jobs+1)
+	}
+	for i := 0; i < jobs; i++ {
+		rj := got[i]
+		if rj.Status != OpDone || rj.SubmittedAt != 100 || rj.StartedAt != 200 || rj.FinishedAt != 300 {
+			t.Fatalf("compaction lost state for %s: %+v", rj.ID, rj)
+		}
+	}
+	if got[jobs].ID != "j000099" || !got[jobs].Interrupted {
+		t.Fatalf("post-compaction append lost: %+v", got[jobs])
+	}
+}
+
+// lastSegment returns the path of the highest-numbered WAL segment.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no WAL segments")
+	}
+	return filepath.Join(dir, "wal", entries[len(entries)-1].Name())
+}
+
+func TestTornTailTruncatedOnRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for _, rec := range lifecycle("j000001", "aaaa") {
+		if err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Simulate a torn write: a frame header promising more bytes than the
+	// crash left behind.
+	seg := lastSegment(t, dir)
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodSize := info.Size()
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xff, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := mustOpen(t, dir, Options{})
+	got := s2.Recovered()
+	if len(got) != 1 || got[0].Status != OpDone {
+		t.Fatalf("recovered %+v after torn tail", got)
+	}
+	if st := s2.Stats(); st.TailTruncations != 1 {
+		t.Fatalf("tail truncations = %d, want 1", st.TailTruncations)
+	}
+	info, err = os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != goodSize {
+		t.Fatalf("segment size %d after recovery, want truncation back to %d", info.Size(), goodSize)
+	}
+	// The log keeps working after truncation.
+	if err := s2.Append(JobRecord{Op: OpSubmitted, ID: "j000002", SubmittedAt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3 := mustOpen(t, dir, Options{})
+	defer s3.Close()
+	if got := s3.Recovered(); len(got) != 2 {
+		t.Fatalf("recovered %d jobs after post-truncation append, want 2", len(got))
+	}
+}
+
+// TestCorruptionFuzz cuts and flips bytes at seeded-random offsets and
+// asserts recovery never fails and always yields a prefix of the appended
+// records — the CRC turns every damage pattern into a clean truncation.
+func TestCorruptionFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		dir := t.TempDir()
+		s := mustOpen(t, dir, Options{})
+		const n = 8
+		for i := 0; i < n; i++ {
+			rec := JobRecord{Op: OpSubmitted, ID: fmt.Sprintf("j%06d", i+1), Key: "abcd", SubmittedAt: int64(i + 1)}
+			if err := s.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Close()
+
+		seg := lastSegment(t, dir)
+		data, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch trial % 3 {
+		case 0: // truncate at a random offset (torn final write)
+			cut := rng.Intn(len(data) + 1)
+			data = data[:cut]
+		case 1: // flip one random byte (bit rot / partial overwrite)
+			pos := rng.Intn(len(data))
+			data[pos] ^= byte(1 + rng.Intn(255))
+		case 2: // truncate and append garbage
+			cut := rng.Intn(len(data) + 1)
+			garbage := make([]byte, rng.Intn(32))
+			rng.Read(garbage)
+			data = append(data[:cut], garbage...)
+		}
+		if err := os.WriteFile(seg, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		s2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: recovery failed: %v", trial, err)
+		}
+		got := s2.Recovered()
+		if len(got) > n {
+			t.Fatalf("trial %d: recovered %d jobs from %d appends", trial, len(got), n)
+		}
+		for i, rj := range got {
+			if want := fmt.Sprintf("j%06d", i+1); rj.ID != want {
+				t.Fatalf("trial %d: recovered[%d] = %s, want %s (not a prefix)", trial, i, rj.ID, want)
+			}
+		}
+		// A recovered store must accept appends again.
+		if err := s2.Append(JobRecord{Op: OpSubmitted, ID: "j000100", SubmittedAt: 1}); err != nil {
+			t.Fatalf("trial %d: append after recovery: %v", trial, err)
+		}
+		s2.Close()
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	defer s.Close()
+	if err := s.Append(JobRecord{Op: OpDone}); err == nil {
+		t.Fatal("record without an id accepted")
+	}
+	if err := s.Append(JobRecord{Op: "resubmitted", ID: "j000001"}); err == nil {
+		t.Fatal("record with an unknown op accepted")
+	}
+}
