@@ -9,9 +9,12 @@
 //	odeproto -file endemic.ode -params beta=4,gamma=1,alpha=0.01
 //	odeproto -file lv.ode -p 0.01 -simulate 100000 -initial x=60000,y=40000 -periods 1000
 //	odeproto -file epi.ode -simulate 1000000 -engine aggregate
+//	odeproto -file epi.ode -simulate 100000 -engine asyncnet
 //
 // Simulation runs through the harness Runner layer; -engine selects the
-// per-process agent engine or the count-based aggregate engine.
+// per-process agent engine, the count-based aggregate engine, or the
+// asynchronous runtime (whose -async-mode defaults to the deterministic
+// virtual-time scheduler; wallclock selects real goroutines and timers).
 //
 // The DSL has one equation per line, e.g.:
 //
@@ -28,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 
+	"odeproto/internal/asyncnet"
 	"odeproto/internal/core"
 	"odeproto/internal/dynamics"
 	"odeproto/internal/harness"
@@ -58,8 +62,9 @@ func run(args []string) error {
 		periods   = fs.Int("periods", 100, "periods to simulate")
 		seed      = fs.Int64("seed", 1, "simulation seed")
 		every     = fs.Int("every", 10, "print simulated counts every this many periods")
-		engine    = fs.String("engine", "agent", "simulation engine: agent (per-process) or aggregate (count-based)")
+		engine    = fs.String("engine", "agent", "simulation engine: agent (per-process), aggregate (count-based), or asyncnet (asynchronous runtime)")
 		shards    = fs.Int("shards", 0, "agent-engine RNG shards K (0/1 = serial; fixed K is reproducible at any worker count)")
+		asyncMode = fs.String("async-mode", "", "asyncnet execution mode: virtual (default; deterministic discrete-event scheduler) or wallclock (real goroutines and timers)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -120,7 +125,7 @@ func run(args []string) error {
 		}
 	}
 	if *simulate > 0 {
-		return runSimulation(proto, *simulate, *initial, *periods, *seed, *every, *engine)
+		return runSimulation(proto, *simulate, *initial, *periods, *seed, *every, *engine, *asyncMode)
 	}
 	return nil
 }
@@ -172,7 +177,12 @@ func simplexSeeds(vars []ode.Var) []map[ode.Var]float64 {
 	return seeds
 }
 
-func runSimulation(proto *core.Protocol, n int, initialSpec string, periods int, seed int64, every int, engine string) error {
+func runSimulation(proto *core.Protocol, n int, initialSpec string, periods int, seed int64, every int, engine, asyncMode string) error {
+	if engine != "asyncnet" && asyncMode != "" {
+		// Mirror the service's validation: a mode on a synchronous engine
+		// is a mistyped request, not a no-op.
+		return fmt.Errorf("-async-mode %q is only meaningful with -engine asyncnet", asyncMode)
+	}
 	counts := make(map[ode.Var]int, len(proto.States))
 	if initialSpec == "" {
 		// Uniform split with remainder on the first state.
@@ -208,8 +218,18 @@ func runSimulation(proto *core.Protocol, n int, initialSpec string, periods int,
 		newRunner = func(seed int64) (harness.Runner, error) {
 			return harness.NewAggregate(proto, counts, seed, 0)
 		}
+	case "asyncnet":
+		mode, err := asyncnet.Mode(asyncMode).Normalize()
+		if err != nil {
+			return err
+		}
+		newRunner = func(seed int64) (harness.Runner, error) {
+			return asyncnet.NewRunner(asyncnet.Config{
+				N: n, Protocol: proto, Initial: counts, Seed: seed, Mode: mode,
+			})
+		}
 	default:
-		return fmt.Errorf("unknown engine %q (want agent or aggregate)", engine)
+		return fmt.Errorf("unknown engine %q (want agent, aggregate, or asyncnet)", engine)
 	}
 	if every < 1 {
 		every = 1

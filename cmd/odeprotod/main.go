@@ -8,7 +8,7 @@
 //
 //	odeprotod -addr :8080
 //	odeprotod -addr 127.0.0.1:9090 -workers 4 -queue 128 -cache 512
-//	odeprotod -data /var/lib/odeprotod -compact-on-start
+//	odeprotod -data /var/lib/odeprotod -compact-on-start -resume-interrupted
 //
 // With -data, job lifecycle transitions are journaled to a segmented,
 // CRC-checksummed WAL and completed results are persisted as
@@ -71,6 +71,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		dataDir        = fs.String("data", "", "durable data directory: WAL-journaled jobs + persisted results (empty = in-memory only)")
 		walSegBytes    = fs.Int64("wal-segment-bytes", 0, "rotate WAL segments beyond this size (0 = store default, 4 MiB)")
 		compactOnStart = fs.Bool("compact-on-start", false, "compact the WAL after recovery, dropping superseded records")
+		resumeInterr   = fs.Bool("resume-interrupted", false, "resubmit jobs the previous process left queued or mid-run (specs are recovered from the WAL)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -98,12 +99,13 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	}
 
 	srv := service.New(service.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheSize:    *cacheSize,
-		SweepWorkers: *sweepWorkers,
-		Limits:       service.Limits{MaxN: *maxN, MaxPeriods: *maxPeriods},
-		Store:        backend,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		CacheSize:         *cacheSize,
+		SweepWorkers:      *sweepWorkers,
+		Limits:            service.Limits{MaxN: *maxN, MaxPeriods: *maxPeriods},
+		Store:             backend,
+		ResumeInterrupted: *resumeInterr,
 	})
 	defer srv.Close()
 

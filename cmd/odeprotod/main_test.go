@@ -385,7 +385,11 @@ func TestCrashRecoveryEndToEnd(t *testing.T) {
 	}
 	f.Close()
 
-	base2, _ := startDaemonCtl(t, "-workers", "1", "-data", dataDir, "-compact-on-start")
+	// -resume-interrupted is exercised for wiring here (this crash left
+	// no interrupted jobs — the sweep completed before the kill); the
+	// resubmission behaviour itself is covered by the service-level
+	// recovery tests.
+	base2, _ := startDaemonCtl(t, "-workers", "1", "-data", dataDir, "-compact-on-start", "-resume-interrupted")
 
 	// The job list survived the crash and the torn tail.
 	var list []service.JobStatus
@@ -453,6 +457,9 @@ func TestCrashRecoveryEndToEnd(t *testing.T) {
 	}
 	if stats.Store.Compactions != 1 || stats.Store.WALSegments != 1 {
 		t.Fatalf("-compact-on-start did not compact: %+v", stats.Store)
+	}
+	if stats.ResumedJobs != 0 {
+		t.Fatalf("resumed_jobs = %d for a cleanly finished job", stats.ResumedJobs)
 	}
 }
 

@@ -9,8 +9,11 @@
 // protocols — endemic migratory replication (internal/endemic) and
 // Lotka–Volterra majority selection (internal/lv) — the epidemic motivating
 // example (internal/epidemic), the simulation substrates needed to
-// regenerate every figure of the paper's evaluation (internal/sim,
-// internal/asyncnet, internal/churn, internal/membership,
+// regenerate every figure of the paper's evaluation (internal/sim;
+// internal/asyncnet, whose asynchronous system model runs by default on
+// a deterministic virtual-time discrete-event scheduler with the
+// goroutine-per-process wallclock runtime kept as its validation oracle;
+// internal/churn, internal/membership,
 // internal/replica, internal/mt19937, internal/stats, internal/plot), and
 // the engine-agnostic experiment harness that fans those experiments out
 // across cores deterministically and cancellably (internal/harness), and

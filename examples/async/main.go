@@ -1,14 +1,21 @@
-// Async: the paper's system model, literally — every process is its own
-// goroutine with its own drifting clock, exchanging real messages over a
-// lossy, delaying in-memory network (internal/asyncnet). No rounds, no
-// synchronization, no agreement: protocol periods start at arbitrary
-// offsets, exactly as §1 and §3.1 describe.
+// Async: the paper's system model — processes with drifting clocks
+// exchanging messages over a lossy, delaying network, protocol periods
+// starting at arbitrary offsets, exactly as §1 and §3.1 describe
+// (internal/asyncnet). No rounds, no synchronization, no agreement.
 //
-// The run executes the endemic replication protocol and compares the
-// final population mix against the closed-form equilibrium (2): the
-// asynchronous runtime preserves the equations' behaviour, which is why
-// the paper's round-based analysis carries over ("our analysis holds for
-// the average period across the group").
+// The run executes the endemic replication protocol on both asyncnet
+// substrates:
+//
+//   - virtual mode (the default): a virtual-time discrete-event scheduler
+//     — the same asynchronous model, driven by event interleavings rather
+//     than real elapsed time, so it runs at CPU speed and a fixed seed
+//     reproduces the run bit-for-bit;
+//   - wallclock mode: one goroutine per process against real timers, the
+//     oracle that grounds the virtual scheduler in genuine asynchrony.
+//
+// Both preserve the equations' limiting behaviour — which is why the
+// paper's round-based analysis carries over ("our analysis holds for the
+// average period across the group").
 //
 // Run with:
 //
@@ -26,11 +33,9 @@ import (
 )
 
 func main() {
-	const n = 400
 	params := endemic.Params{B: 2, Gamma: 0.2, Alpha: 0.1}
 	eq := endemic.StableEquilibrium(params.Beta(), params.Gamma, params.Alpha)
-	fmt.Printf("endemic protocol, N = %d goroutines, b=%d γ=%v α=%v\n",
-		n, params.B, params.Gamma, params.Alpha)
+	fmt.Printf("endemic protocol, b=%d γ=%v α=%v\n", params.B, params.Gamma, params.Alpha)
 	fmt.Printf("analysis: equilibrium fractions x∞=%.3f y∞=%.3f z∞=%.3f\n",
 		eq.Receptive, eq.Stash, eq.Averse)
 
@@ -38,10 +43,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nrunning 250 asynchronous periods with ±20% clock drift,")
-	fmt.Println("5% message loss, and random network delays...")
-	start := time.Now()
-	res, err := asyncnet.Run(asyncnet.Config{
+
+	// Virtual time: N = 2000 processes for 250 periods with ±20% clock
+	// drift, 5% loss, and random delays — at CPU speed. A 2ms nominal
+	// period would cost ≥ 0.5s of real time per run on the wallclock
+	// substrate; the event scheduler replays the same model in a fraction
+	// of that, deterministically.
+	const n = 2000
+	cfg := asyncnet.Config{
 		N:        n,
 		Protocol: protocol,
 		Initial: map[ode.Var]int{
@@ -54,7 +63,10 @@ func main() {
 		BasePeriod: 2 * time.Millisecond,
 		Drift:      0.2,
 		DropProb:   0.05,
-	})
+	}
+	fmt.Printf("\nrunning %d asynchronous periods over %d processes (virtual time)...\n", cfg.Periods, n)
+	start := time.Now()
+	res, err := asyncnet.Run(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,11 +86,38 @@ func main() {
 		}
 		fmt.Printf("%-9s  %5d  %.1f\n", s, res.Counts[s], want)
 	}
-	fmt.Printf("\ntransfers: %d, deletions: %d — the file migrated continuously\n",
-		res.Transitions[[2]ode.Var{endemic.Receptive, endemic.Stash}],
-		res.Transitions[[2]ode.Var{endemic.Stash, endemic.Averse}])
 	if res.Counts[endemic.Stash] == 0 {
 		log.Fatal("all replicas lost!")
 	}
-	fmt.Println("replicas survived the fully asynchronous run")
+
+	// Determinism: the virtual run is a pure function of the config.
+	again, err := asyncnet.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if again.MessagesSent != res.MessagesSent || again.Counts[endemic.Stash] != res.Counts[endemic.Stash] {
+		log.Fatal("virtual run did not reproduce!")
+	}
+	fmt.Println("\nsame seed, second run: bit-identical (counts, transitions, messages)")
+
+	// The wallclock oracle: real goroutines, real timers, same limiting
+	// behaviour — just paid for in real elapsed time.
+	wc := cfg
+	wc.N = 400
+	wc.Initial = map[ode.Var]int{endemic.Receptive: 200, endemic.Stash: 200, endemic.Averse: 0}
+	wc.Periods = 100
+	wc.Mode = asyncnet.ModeWallclock
+	fmt.Printf("\nwallclock oracle: %d goroutines for %d real 2ms periods...\n", wc.N, wc.Periods)
+	start = time.Now()
+	wres, err := asyncnet.Run(wc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done in %v wall clock, %d messages sent, stash %d/%d (analysis %.1f)\n",
+		time.Since(start).Round(time.Millisecond), wres.MessagesSent,
+		wres.Counts[endemic.Stash], wc.N, eq.Stash*float64(wc.N))
+	if wres.Counts[endemic.Stash] == 0 {
+		log.Fatal("all replicas lost on the wallclock substrate!")
+	}
+	fmt.Println("replicas survived on both substrates")
 }

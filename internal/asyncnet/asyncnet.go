@@ -1,23 +1,36 @@
-// Package asyncnet executes a compiled protocol on a genuinely
-// asynchronous runtime: one goroutine per process, message passing over a
-// simulated lossy and delaying network, protocol periods starting at
-// arbitrary offsets with bounded clock drift — exactly the system model of
-// the paper (§1): "an asynchronous network … protocol periods start at
-// arbitrary times at different processes … our analysis holds for the
-// average period across the group".
+// Package asyncnet executes a compiled protocol on the paper's true
+// asynchronous system model (§1): protocol periods start at arbitrary
+// offsets, per-process clocks drift within a bound, and messages cross a
+// lossy, delaying network — "an asynchronous network … protocol periods
+// start at arbitrary times at different processes … our analysis holds
+// for the average period across the group".
 //
-// The synchronous-round engine in internal/sim is the workhorse for the
-// paper's large experiments; this package demonstrates that the results do
-// not depend on the round synchronization the engine imposes: integration
-// tests run the same protocols here and observe the same limiting
-// behaviour.
+// The model is captured entirely by the *interleaving* of events — period
+// firings, message deliveries, timeouts — not by real elapsed time, so the
+// package offers two execution substrates behind one protocol logic:
+//
+//   - ModeVirtual (the default) runs a discrete-event scheduler over
+//     virtual time: every occurrence is a timestamped event in a priority
+//     queue, timestamps are drawn from the same drift/delay/drop
+//     distributions as wallclock mode, and equal timestamps are ordered by
+//     a seeded splitmix-derived sequence number assigned at schedule time.
+//     A run is a pure function of its Config — bit-reproducible across
+//     executions and GOMAXPROCS settings — and executes as fast as the
+//     hardware allows (no 2ms-per-period floor, no goroutine-per-process
+//     ceiling), which is what makes asyncnet results content-addressable
+//     and cacheable in internal/service.
+//
+//   - ModeWallclock runs one goroutine per process against real timers
+//     and channels. It is nondeterministic and real-time-bound, and is
+//     kept as the validation oracle: integration tests run the same
+//     protocols on genuine goroutine interleavings and observe the same
+//     limiting behaviour as the virtual scheduler and the synchronous
+//     engines in internal/sim.
 package asyncnet
 
 import (
-	"context"
 	"fmt"
-	"math/rand"
-	"sync"
+	"math"
 	"time"
 
 	"odeproto/internal/core"
@@ -25,22 +38,48 @@ import (
 	"odeproto/internal/ode"
 )
 
-// message is the transport envelope. Exactly one field group is used per
-// kind.
-type message struct {
-	kind messageKind
-	from int
+// Mode selects the asyncnet execution substrate.
+type Mode string
 
-	seq   int   // query/reply correlation
-	pos   int   // sample position within the action instance
-	state int16 // reply payload / convert precondition
+const (
+	// ModeVirtual is the virtual-time discrete-event scheduler:
+	// deterministic for a fixed Config, runs at CPU speed.
+	ModeVirtual Mode = "virtual"
+	// ModeWallclock is the goroutine-per-process runtime against real
+	// timers: nondeterministic, real-time-bound, kept as the oracle that
+	// validates the virtual scheduler against true asynchrony.
+	ModeWallclock Mode = "wallclock"
+)
 
-	inst      int   // instance sequence for timeouts
-	convertTo int16 // convert/token destination
-	ttl       int   // token hops remaining
+// Normalize maps the empty mode to the virtual default and rejects
+// anything that is not a known mode.
+func (m Mode) Normalize() (Mode, error) {
+	switch m {
+	case "":
+		return ModeVirtual, nil
+	case ModeVirtual, ModeWallclock:
+		return m, nil
+	default:
+		return "", fmt.Errorf("asyncnet: unknown mode %q (want %q or %q)", string(m), ModeVirtual, ModeWallclock)
+	}
 }
 
-type messageKind int
+// message is the transport envelope. Exactly one field group is used per
+// kind. Fields are deliberately narrow: the virtual scheduler keeps
+// millions of these inside heap events, so envelope size is heap memory
+// traffic.
+type message struct {
+	from int32
+	seq  int32 // query/reply correlation
+	inst int32 // instance sequence for timeouts
+
+	kind      messageKind
+	state     int16 // reply payload / convert precondition
+	convertTo int16 // convert/token destination
+	ttl       int16 // token hops remaining
+}
+
+type messageKind uint8
 
 const (
 	msgQuery messageKind = iota + 1
@@ -50,6 +89,16 @@ const (
 	msgToken
 )
 
+// transport is what the protocol logic needs from its substrate: message
+// sends (to which the network's loss/delay model applies) and local
+// timeout scheduling (which is lossless — a timer is not a network
+// message). The wallclock network and the virtual event scheduler both
+// implement it.
+type transport interface {
+	send(to int, m message)
+	timeout(owner int, d time.Duration, m message)
+}
+
 // Config configures an asynchronous run.
 type Config struct {
 	N        int
@@ -58,9 +107,13 @@ type Config struct {
 	Seed     int64
 	// Periods is how many protocol periods each process executes.
 	Periods int
+	// Mode selects the execution substrate: ModeVirtual (default) or
+	// ModeWallclock.
+	Mode Mode
 	// BasePeriod is the nominal protocol period duration (default 2ms;
 	// real deployments use minutes — the dynamics only depend on the
-	// period count).
+	// period count). In virtual mode it is a unit of virtual time and has
+	// no bearing on how long the run takes.
 	BasePeriod time.Duration
 	// Drift is the relative clock drift bound: each process draws its
 	// period duration uniformly from BasePeriod·(1 ± Drift). Default 0.1.
@@ -84,42 +137,6 @@ type Result struct {
 	MessagesSent int
 }
 
-// network delivers messages with loss and delay.
-type network struct {
-	inboxes []chan message
-	drop    float64
-	maxDel  time.Duration
-
-	mu   sync.Mutex
-	rng  *rand.Rand
-	sent int
-}
-
-func (nw *network) send(to int, m message) {
-	nw.mu.Lock()
-	nw.sent++
-	dropped := nw.drop > 0 && nw.rng.Float64() < nw.drop
-	var delay time.Duration
-	if nw.maxDel > 0 {
-		delay = time.Duration(nw.rng.Int63n(int64(nw.maxDel)))
-	}
-	nw.mu.Unlock()
-	if dropped {
-		return
-	}
-	deliver := func() {
-		select {
-		case nw.inboxes[to] <- m:
-		default: // inbox overflow counts as loss
-		}
-	}
-	if delay == 0 {
-		deliver()
-		return
-	}
-	time.AfterFunc(delay, deliver)
-}
-
 // pendingInstance tracks one in-flight sampling action.
 type pendingInstance struct {
 	action  *compiled
@@ -136,12 +153,15 @@ type compiled struct {
 	to      int16
 }
 
-// process is one asynchronous protocol participant.
+// process is one asynchronous protocol participant. The protocol logic
+// below is substrate-agnostic: it talks to the run through the transport
+// interface and its own rng, so the wallclock goroutine loop and the
+// virtual event loop drive the exact same code.
 type process struct {
 	id      int
 	cfg     *Config
-	nw      *network
-	rng     *rand.Rand
+	tr      transport
+	rng     prng // per-process stream (wallclock) or the run's shared stream (virtual)
 	states  []ode.Var
 	actions [][]*compiled
 
@@ -152,12 +172,38 @@ type process struct {
 	transitions map[[2]ode.Var]int
 }
 
+// prng exposes the draw helpers the protocol logic needs directly on the
+// Mersenne Twister: math/rand's *Rand pays an interface dispatch per
+// draw, which is measurable with millions of draws on the virtual
+// scheduler's hot path. Int63n uses the same rejection sampling as
+// math/rand, so draws stay exactly uniform.
+type prng struct{ mt *mt19937.MT19937 }
+
+func (r prng) Float64() float64 { return r.mt.Float64() }
+
+func (r prng) Intn(n int) int { return int(r.Int63n(int64(n))) }
+
+func (r prng) Int63n(n int64) int64 {
+	if n&(n-1) == 0 {
+		return r.mt.Int63() & (n - 1)
+	}
+	max := int64((1 << 63) - 1 - (1<<63)%uint64(n))
+	v := r.mt.Int63()
+	for v > max {
+		v = r.mt.Int63()
+	}
+	return v % n
+}
+
 func (p *process) transitionTo(to int16) {
 	from := p.state
 	if from == to {
 		return
 	}
 	p.state = to
+	if p.transitions == nil {
+		p.transitions = make(map[[2]ode.Var]int, 4)
+	}
 	p.transitions[[2]ode.Var{p.states[from], p.states[to]}]++
 }
 
@@ -169,8 +215,22 @@ func (p *process) randomPeer() int {
 	return t
 }
 
+// periodFor draws this process's next period duration from the drifting
+// clock model: uniform in BasePeriod·(1 ± Drift).
+func (p *process) periodFor() time.Duration {
+	f := 1 + p.cfg.Drift*(2*p.rng.Float64()-1)
+	return time.Duration(float64(p.cfg.BasePeriod) * f)
+}
+
+// startOffset draws the arbitrary offset of this process's first period
+// (paper: "protocol periods start at arbitrary times at different
+// processes").
+func (p *process) startOffset() time.Duration {
+	return time.Duration(p.rng.Int63n(int64(p.cfg.BasePeriod) + 1))
+}
+
 // startPeriod launches this period's actions.
-func (p *process) startPeriod(timeout time.Duration, inbox chan message) {
+func (p *process) startPeriod() {
 	for _, a := range p.actions[p.state] {
 		switch a.kind {
 		case core.Flip:
@@ -180,12 +240,16 @@ func (p *process) startPeriod(timeout time.Duration, inbox chan message) {
 		case core.Push:
 			for range a.samples {
 				if a.coin >= 1 || p.rng.Float64() < a.coin {
-					p.nw.send(p.randomPeer(), message{
-						kind: msgConvert, from: p.id, state: a.from, convertTo: a.to,
+					p.tr.send(p.randomPeer(), message{
+						kind: msgConvert, from: int32(p.id), state: a.from, convertTo: a.to,
 					})
 				}
 			}
 		case core.Sample, core.SampleAny, core.Token:
+			if p.pending == nil {
+				p.pending = make(map[int]*pendingInstance, 2)
+				p.queryRoute = make(map[int][2]int, 4)
+			}
 			p.seq++
 			inst := p.seq
 			pi := &pendingInstance{
@@ -201,15 +265,9 @@ func (p *process) startPeriod(timeout time.Duration, inbox chan message) {
 				p.seq++
 				qseq := p.seq
 				p.queryRoute[qseq] = [2]int{inst, pos}
-				p.nw.send(p.randomPeer(), message{kind: msgQuery, from: p.id, seq: qseq})
+				p.tr.send(p.randomPeer(), message{kind: msgQuery, from: int32(p.id), seq: int32(qseq)})
 			}
-			id := inst
-			time.AfterFunc(timeout, func() {
-				select {
-				case inbox <- message{kind: msgTimeout, inst: id}:
-				default:
-				}
-			})
+			p.tr.timeout(p.id, p.cfg.BasePeriod/2, message{kind: msgTimeout, inst: int32(inst)})
 		}
 	}
 }
@@ -222,6 +280,15 @@ func (p *process) evaluate(inst int, pi *pendingInstance) {
 	pi.decided = true
 	delete(p.pending, inst)
 	a := pi.action
+	// Drop the instance's outstanding query routes: replies lost to the
+	// network (or still in flight) would otherwise leak their routing
+	// entries for the rest of the run. The instance's query seqs are the
+	// consecutive draws after its own (see startPeriod), so no extra
+	// bookkeeping is needed; a reply arriving after this finds no route
+	// and is ignored, exactly as before.
+	for i := range a.samples {
+		delete(p.queryRoute, inst+1+i)
+	}
 	switch a.kind {
 	case core.Sample, core.Token:
 		for i, want := range a.samples {
@@ -238,9 +305,9 @@ func (p *process) evaluate(inst int, pi *pendingInstance) {
 			}
 			return
 		}
-		ttl := p.cfg.TokenTTL
-		p.nw.send(p.randomPeer(), message{
-			kind: msgToken, from: p.id, state: a.from, convertTo: a.to, ttl: ttl,
+		p.tr.send(p.randomPeer(), message{
+			kind: msgToken, from: int32(p.id), state: a.from, convertTo: a.to,
+			ttl: int16(p.cfg.TokenTTL),
 		})
 	case core.SampleAny:
 		hit := false
@@ -259,13 +326,13 @@ func (p *process) evaluate(inst int, pi *pendingInstance) {
 func (p *process) handle(m message) {
 	switch m.kind {
 	case msgQuery:
-		p.nw.send(m.from, message{kind: msgReply, from: p.id, seq: m.seq, state: p.state})
+		p.tr.send(int(m.from), message{kind: msgReply, from: int32(p.id), seq: m.seq, state: p.state})
 	case msgReply:
-		route, ok := p.queryRoute[m.seq]
+		route, ok := p.queryRoute[int(m.seq)]
 		if !ok {
 			return
 		}
-		delete(p.queryRoute, m.seq)
+		delete(p.queryRoute, int(m.seq))
 		pi, ok := p.pending[route[0]]
 		if !ok {
 			return
@@ -276,8 +343,8 @@ func (p *process) handle(m message) {
 			p.evaluate(route[0], pi)
 		}
 	case msgTimeout:
-		if pi, ok := p.pending[m.inst]; ok {
-			p.evaluate(m.inst, pi)
+		if pi, ok := p.pending[int(m.inst)]; ok {
+			p.evaluate(int(m.inst), pi)
 		}
 	case msgConvert:
 		if p.state == m.state {
@@ -290,71 +357,29 @@ func (p *process) handle(m message) {
 		}
 		if m.ttl > 1 {
 			m.ttl--
-			p.nw.send(p.randomPeer(), m)
+			p.tr.send(p.randomPeer(), m)
 		}
 	}
 }
 
-// run is the process main loop. ticking is signalled once when the
-// process has executed all its periods (it keeps serving messages after
-// that, until ctx is cancelled).
-func (p *process) run(ctx context.Context, inbox chan message, finished, ticking *sync.WaitGroup, final []int16) {
-	defer finished.Done()
-	defer func() { final[p.id] = p.state }()
-	ticked := false
-	tickDone := func() {
-		if !ticked {
-			ticked = true
-			ticking.Done()
-		}
-	}
-	// Guarantee the ticking group drains even if the context is cancelled
-	// before this process finished its periods (fallback-deadline path).
-	defer tickDone()
-
-	drift := p.cfg.Drift
-	periodFor := func() time.Duration {
-		f := 1 + drift*(2*p.rng.Float64()-1)
-		return time.Duration(float64(p.cfg.BasePeriod) * f)
-	}
-	// Arbitrary start offset within one period (paper: "protocol periods
-	// start at arbitrary times at different processes").
-	timer := time.NewTimer(time.Duration(p.rng.Int63n(int64(p.cfg.BasePeriod) + 1)))
-	defer timer.Stop()
-	periodsLeft := p.cfg.Periods
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case m := <-inbox:
-			p.handle(m)
-		case <-timer.C:
-			if periodsLeft > 0 {
-				p.startPeriod(p.cfg.BasePeriod/2, inbox)
-				periodsLeft--
-				timer.Reset(periodFor())
-				if periodsLeft == 0 {
-					tickDone()
-				}
-			}
-			// After the last period, keep serving messages until ctx ends.
-		}
-	}
-}
-
-// Run executes the protocol asynchronously and returns the final counts.
-func Run(cfg Config) (*Result, error) {
+// validate applies defaults in place and compiles the protocol: the
+// per-state action tables and the initial state of each process id
+// (processes are laid out state by state, in protocol state order).
+func (cfg *Config) validate() (states []ode.Var, actions [][]*compiled, initial []int16, err error) {
 	if cfg.N < 2 {
-		return nil, fmt.Errorf("asyncnet: group size %d too small", cfg.N)
+		return nil, nil, nil, fmt.Errorf("asyncnet: group size %d too small", cfg.N)
 	}
 	if cfg.Protocol == nil {
-		return nil, fmt.Errorf("asyncnet: nil protocol")
+		return nil, nil, nil, fmt.Errorf("asyncnet: nil protocol")
 	}
 	if err := cfg.Protocol.Validate(); err != nil {
-		return nil, fmt.Errorf("asyncnet: %w", err)
+		return nil, nil, nil, fmt.Errorf("asyncnet: %w", err)
 	}
 	if cfg.Periods <= 0 {
-		return nil, fmt.Errorf("asyncnet: periods must be positive")
+		return nil, nil, nil, fmt.Errorf("asyncnet: periods must be positive")
+	}
+	if cfg.Mode, err = cfg.Mode.Normalize(); err != nil {
+		return nil, nil, nil, err
 	}
 	if cfg.BasePeriod <= 0 {
 		cfg.BasePeriod = 2 * time.Millisecond
@@ -363,7 +388,7 @@ func Run(cfg Config) (*Result, error) {
 		cfg.Drift = 0.1
 	}
 	if cfg.Drift < 0 || cfg.Drift >= 1 {
-		return nil, fmt.Errorf("asyncnet: drift %v outside [0,1)", cfg.Drift)
+		return nil, nil, nil, fmt.Errorf("asyncnet: drift %v outside [0,1)", cfg.Drift)
 	}
 	if cfg.MaxDelay == 0 {
 		cfg.MaxDelay = cfg.BasePeriod / 4
@@ -371,13 +396,18 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.TokenTTL <= 0 {
 		cfg.TokenTTL = 8
 	}
+	if cfg.TokenTTL > math.MaxInt16 {
+		// The transport envelope carries the TTL as an int16; a larger
+		// bound would silently wrap and kill tokens after one hop.
+		return nil, nil, nil, fmt.Errorf("asyncnet: token TTL %d exceeds the transport bound %d", cfg.TokenTTL, math.MaxInt16)
+	}
 
-	states := cfg.Protocol.States
+	states = cfg.Protocol.States
 	stateIdx := make(map[ode.Var]int, len(states))
 	for i, s := range states {
 		stateIdx[s] = i
 	}
-	compiledActions := make([][]*compiled, len(states))
+	actions = make([][]*compiled, len(states))
 	for _, a := range cfg.Protocol.Actions {
 		ca := &compiled{
 			kind: a.Kind,
@@ -389,77 +419,54 @@ func Run(cfg Config) (*Result, error) {
 			ca.samples = append(ca.samples, int16(stateIdx[s]))
 		}
 		owner := stateIdx[a.Owner]
-		compiledActions[owner] = append(compiledActions[owner], ca)
+		actions[owner] = append(actions[owner], ca)
 	}
 
 	total := 0
 	for s, c := range cfg.Initial {
 		if _, ok := stateIdx[s]; !ok {
-			return nil, fmt.Errorf("asyncnet: initial state %q not in protocol", s)
+			return nil, nil, nil, fmt.Errorf("asyncnet: initial state %q not in protocol", s)
 		}
 		total += c
 	}
 	if total != cfg.N {
-		return nil, fmt.Errorf("asyncnet: initial counts sum to %d, want %d", total, cfg.N)
+		return nil, nil, nil, fmt.Errorf("asyncnet: initial counts sum to %d, want %d", total, cfg.N)
 	}
-
-	root := mt19937.New(cfg.Seed)
-	nw := &network{
-		inboxes: make([]chan message, cfg.N),
-		drop:    cfg.DropProb,
-		maxDel:  cfg.MaxDelay,
-		rng:     rand.New(root.Split(0)),
-	}
-	for i := range nw.inboxes {
-		nw.inboxes[i] = make(chan message, 4*cfg.N/len(states)+64)
-	}
-
-	procs := make([]*process, cfg.N)
-	idx := 0
-	for _, s := range states {
-		for i := 0; i < cfg.Initial[s]; i++ {
-			procs[idx] = &process{
-				id:          idx,
-				cfg:         &cfg,
-				nw:          nw,
-				rng:         rand.New(root.Split(uint64(idx) + 1)),
-				states:      states,
-				actions:     compiledActions,
-				state:       int16(stateIdx[s]),
-				pending:     make(map[int]*pendingInstance),
-				queryRoute:  make(map[int][2]int),
-				transitions: make(map[[2]ode.Var]int),
-			}
-			idx++
+	initial = make([]int16, 0, cfg.N)
+	for i, s := range states {
+		for j := 0; j < cfg.Initial[s]; j++ {
+			initial = append(initial, int16(i))
 		}
 	}
+	return states, actions, initial, nil
+}
 
-	ctx, cancel := context.WithCancel(context.Background())
-	var finished, ticking sync.WaitGroup
-	final := make([]int16, cfg.N)
-	finished.Add(cfg.N)
-	ticking.Add(cfg.N)
-	for _, p := range procs {
-		go p.run(ctx, nw.inboxes[p.id], &finished, &ticking, final)
+// buildProcesses lays the group out as one contiguous allocation (N
+// separate process allocations are measurable GC weight at scale); the
+// caller supplies the substrate (transport) and each process's rng
+// stream. The bookkeeping maps are allocated lazily — at scale most
+// processes spend whole runs in states with no sampling actions and no
+// transitions, and 3N empty maps would be more dead GC weight.
+func buildProcesses(cfg *Config, tr transport, rngFor func(i int) prng, states []ode.Var, actions [][]*compiled, initial []int16) []*process {
+	backing := make([]process, cfg.N)
+	procs := make([]*process, cfg.N)
+	for i := range backing {
+		backing[i] = process{
+			id:      i,
+			cfg:     cfg,
+			tr:      tr,
+			rng:     rngFor(i),
+			states:  states,
+			actions: actions,
+			state:   initial[i],
+		}
+		procs[i] = &backing[i]
 	}
-	// Wait until every process has executed all its periods — scheduling
-	// delays under load make a fixed nominal sleep unreliable — then give
-	// in-flight messages a short grace window and stop the world.
-	allDone := make(chan struct{})
-	go func() {
-		defer close(allDone)
-		ticking.Wait()
-	}()
-	nominal := time.Duration(float64(cfg.BasePeriod) * (1 + cfg.Drift) * float64(cfg.Periods))
-	select {
-	case <-allDone:
-	case <-time.After(10*nominal + time.Second):
-		// Fallback deadline: proceed with whatever progress was made.
-	}
-	time.Sleep(4 * cfg.BasePeriod)
-	cancel()
-	finished.Wait()
+	return procs
+}
 
+// collectResult assembles the run summary from the final process states.
+func collectResult(states []ode.Var, procs []*process, sent int) *Result {
 	res := &Result{
 		Counts:      make(map[ode.Var]int, len(states)),
 		Transitions: make(map[[2]ode.Var]int),
@@ -467,16 +474,27 @@ func Run(cfg Config) (*Result, error) {
 	for _, s := range states {
 		res.Counts[s] = 0
 	}
-	for i := range final {
-		res.Counts[states[final[i]]]++
-	}
 	for _, p := range procs {
+		res.Counts[states[p.state]]++
 		for k, v := range p.transitions {
 			res.Transitions[k] += v
 		}
 	}
-	nw.mu.Lock()
-	res.MessagesSent = nw.sent
-	nw.mu.Unlock()
-	return res, nil
+	res.MessagesSent = sent
+	return res
+}
+
+// Run executes the protocol asynchronously and returns the final counts.
+// Virtual-mode runs are deterministic: a fixed Config reproduces the exact
+// Result on any machine at any GOMAXPROCS. Wallclock-mode runs schedule
+// real goroutines and are not reproducible.
+func Run(cfg Config) (*Result, error) {
+	states, actions, initial, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Mode == ModeWallclock {
+		return runWallclock(&cfg, states, actions, initial), nil
+	}
+	return runVirtual(&cfg, states, actions, initial), nil
 }

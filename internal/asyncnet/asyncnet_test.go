@@ -31,6 +31,10 @@ func TestRunValidation(t *testing.T) {
 		{N: 10, Protocol: proto, Periods: 1, Initial: map[ode.Var]int{"x": 5}},
 		{N: 10, Protocol: proto, Periods: 1, Initial: map[ode.Var]int{"x": 9, "q": 1}},
 		{N: 10, Protocol: proto, Periods: 1, Initial: map[ode.Var]int{"x": 10}, Drift: 2},
+		{N: 10, Protocol: proto, Periods: 1, Initial: map[ode.Var]int{"x": 10}, Mode: "realtime"},
+		// The transport envelope carries the token TTL as an int16; a
+		// larger bound would wrap and silently kill tokens after one hop.
+		{N: 10, Protocol: proto, Periods: 1, Initial: map[ode.Var]int{"x": 10}, TokenTTL: 40000},
 	}
 	for i, cfg := range cases {
 		if _, err := Run(cfg); err == nil {
@@ -40,10 +44,10 @@ func TestRunValidation(t *testing.T) {
 }
 
 // TestEpidemicConvergesAsynchronously: the canonical pull epidemic reaches
-// (essentially) everyone despite drifting clocks, delays and message loss.
-// The runtime is wall-clock driven, so on a loaded machine some query
-// replies miss their timeout and the trial is lost; the period budget is
-// therefore generous and one straggler is tolerated.
+// (essentially) everyone despite drifting clocks, delays and message loss
+// (default virtual mode; TestVirtualMatchesWallclockLimiting repeats the
+// check on the wallclock oracle). The period budget is generous and one
+// straggler is tolerated.
 func TestEpidemicConvergesAsynchronously(t *testing.T) {
 	proto := mustTranslate(t, "x' = -x*y\ny' = x*y", core.Options{})
 	res, err := Run(Config{
@@ -74,29 +78,33 @@ func TestEpidemicConvergesAsynchronously(t *testing.T) {
 	}
 }
 
-// TestPopulationConserved: counts always sum to N whatever the protocol.
+// TestPopulationConserved: counts always sum to N whatever the protocol,
+// on both substrates.
 func TestPopulationConserved(t *testing.T) {
 	proto, err := endemic.NewFigure1Protocol(endemic.Params{B: 2, Gamma: 0.2, Alpha: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(Config{
-		N:        120,
-		Protocol: proto,
-		Initial:  map[ode.Var]int{endemic.Receptive: 60, endemic.Stash: 40, endemic.Averse: 20},
-		Seed:     2,
-		Periods:  40,
-		DropProb: 0.1,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	total := 0
-	for _, c := range res.Counts {
-		total += c
-	}
-	if total != 120 {
-		t.Fatalf("population %d, want 120: %v", total, res.Counts)
+	for _, mode := range []Mode{ModeVirtual, ModeWallclock} {
+		res, err := Run(Config{
+			N:        120,
+			Protocol: proto,
+			Initial:  map[ode.Var]int{endemic.Receptive: 60, endemic.Stash: 40, endemic.Averse: 20},
+			Seed:     2,
+			Periods:  40,
+			Mode:     mode,
+			DropProb: 0.1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, c := range res.Counts {
+			total += c
+		}
+		if total != 120 {
+			t.Fatalf("mode %s: population %d, want 120: %v", mode, total, res.Counts)
+		}
 	}
 }
 

@@ -10,15 +10,21 @@ import (
 // Runner adapts the asynchronous runtime to the harness.Runner interface,
 // so sweeps can execute on the paper's true system model (§1) through the
 // same scheduler as the synchronous engines. The runtime is one-shot — it
-// spins up a goroutine per process and tears the group down at the end of
-// a run — so the adapter executes periods in segments: each Run(k) call
-// launches a fresh asynchronous execution of k periods whose initial
-// population is the previous segment's final population, seeded
-// deterministically from the base seed and the segment index. Population
-// counts are continuous across segments; per-process identity is not
-// (asyncnet processes carry no addressable identity anyway). Prefer
-// coarse Run calls over per-period Step calls: every segment pays the
-// group's start-up and tear-down cost.
+// builds the group and tears it down at the end of a run — so the adapter
+// executes periods in segments: each Run(k) call launches a fresh
+// asynchronous execution of k periods whose initial population is the
+// previous segment's final population, seeded deterministically from the
+// base seed and the segment index. Population counts are continuous
+// across segments; per-process identity is not (asyncnet processes carry
+// no addressable identity anyway). Prefer coarse Run calls over
+// per-period Step calls: every segment pays the group's start-up and
+// tear-down cost.
+//
+// The config's Mode carries through to every segment. In ModeVirtual
+// (the default) the whole segment sequence is deterministic — a fixed
+// (config, call sequence) reproduces byte-identical counts, transitions,
+// and message totals — which is what lets internal/service cache and
+// persist virtual asyncnet jobs.
 type Runner struct {
 	cfg Config
 
@@ -38,6 +44,10 @@ func NewRunner(cfg Config) (*Runner, error) {
 	}
 	if err := cfg.Protocol.Validate(); err != nil {
 		return nil, fmt.Errorf("asyncnet: %w", err)
+	}
+	var err error
+	if cfg.Mode, err = cfg.Mode.Normalize(); err != nil {
+		return nil, err
 	}
 	total := 0
 	counts := make(map[ode.Var]int, len(cfg.Protocol.States))

@@ -128,6 +128,8 @@ func TestSpecValidationErrors(t *testing.T) {
 			s.Engine = "asyncnet"
 			s.Events = []EventSpec{{At: 1, Kind: "kill-fraction", Frac: 0.5}}
 		}, "supports no perturbations"},
+		{"asyncnet bad mode", func(s *JobSpec) { s.Engine = "asyncnet"; s.Mode = "hybrid" }, "unknown mode"},
+		{"mode on agent engine", func(s *JobSpec) { s.Mode = ModeVirtual }, "only meaningful for engine"},
 	}
 	for _, tc := range cases {
 		spec := ok
@@ -144,13 +146,27 @@ func TestSpecValidationErrors(t *testing.T) {
 	}
 }
 
-func TestAsyncnetNotCacheable(t *testing.T) {
+// TestAsyncnetCacheability pins the mode-dependent cache contract: the
+// default virtual mode is deterministic and cacheable; wallclock mode
+// (real goroutines, real timers) remains the one uncacheable
+// configuration.
+func TestAsyncnetCacheability(t *testing.T) {
 	spec := JobSpec{Source: "x' = -x*y\ny' = x*y\n", N: 50, Periods: 2, Engine: "asyncnet"}
 	if _, err := spec.normalize(defaultLimits); err != nil {
 		t.Fatal(err)
 	}
-	if spec.cacheable() {
-		t.Fatal("asyncnet jobs must not be cacheable (nondeterministic engine)")
+	if spec.Mode != ModeVirtual {
+		t.Fatalf("asyncnet mode normalized to %q, want %q", spec.Mode, ModeVirtual)
+	}
+	if !spec.cacheable() {
+		t.Fatal("virtual asyncnet jobs must be cacheable (deterministic scheduler)")
+	}
+	wallclock := JobSpec{Source: "x' = -x*y\ny' = x*y\n", N: 50, Periods: 2, Engine: "asyncnet", Mode: ModeWallclock}
+	if _, err := wallclock.normalize(defaultLimits); err != nil {
+		t.Fatal(err)
+	}
+	if wallclock.cacheable() {
+		t.Fatal("wallclock asyncnet jobs must not be cacheable (nondeterministic runtime)")
 	}
 	agent := JobSpec{Source: "x' = -x*y\ny' = x*y\n", N: 50, Periods: 2}
 	if _, err := agent.normalize(defaultLimits); err != nil {
@@ -158,5 +174,21 @@ func TestAsyncnetNotCacheable(t *testing.T) {
 	}
 	if !agent.cacheable() {
 		t.Fatal("agent jobs must be cacheable")
+	}
+}
+
+// TestAsyncnetModeCacheKey: the empty mode and the explicit "virtual"
+// mode are one canonical form (one cache identity), and the mode is part
+// of the key.
+func TestAsyncnetModeCacheKey(t *testing.T) {
+	base := JobSpec{Source: "x' = -x*y\ny' = x*y\n", N: 50, Periods: 2, Engine: "asyncnet"}
+	_, keyDefault := normalizeOrFatal(t, base)
+	explicit := JobSpec{Source: "x' = -x*y\ny' = x*y\n", N: 50, Periods: 2, Engine: "asyncnet", Mode: ModeVirtual}
+	if _, key := normalizeOrFatal(t, explicit); key != keyDefault {
+		t.Fatal("explicit virtual mode split the cache from the default")
+	}
+	wallclock := JobSpec{Source: "x' = -x*y\ny' = x*y\n", N: 50, Periods: 2, Engine: "asyncnet", Mode: ModeWallclock}
+	if _, key := normalizeOrFatal(t, wallclock); key == keyDefault {
+		t.Fatal("mode is not part of the cache key")
 	}
 }

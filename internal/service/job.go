@@ -81,8 +81,11 @@ type JobStatus struct {
 	CacheKey string `json:"cache_key"`
 	// Cached reports that the result was served from the content-addressed
 	// cache without running a sweep.
-	Cached   bool       `json:"cached"`
-	Engine   string     `json:"engine"`
+	Cached bool   `json:"cached"`
+	Engine string `json:"engine"`
+	// Mode is the asyncnet execution mode (virtual or wallclock); empty
+	// for the other engines.
+	Mode     string     `json:"mode,omitempty"`
 	N        int        `json:"n"`
 	Periods  int        `json:"periods"`
 	Seeds    int        `json:"seeds"`
@@ -103,6 +106,7 @@ func (j *Job) statusLocked(includeResult bool) JobStatus {
 		CacheKey: j.Key,
 		Cached:   j.cached,
 		Engine:   j.spec.Engine,
+		Mode:     j.spec.Mode,
 		N:        j.spec.N,
 		Periods:  j.spec.Periods,
 		Seeds:    j.spec.Seeds,
@@ -216,7 +220,10 @@ func buildSweep(spec *JobSpec, comp *compiled, rows *rowBuffer) ([]harness.Job, 
 				return harness.NewAggregate(comp.proto, counts, seed, 0)
 			}
 		case EngineAsyncnet:
-			cfg := asyncnet.Config{N: spec.N, Protocol: comp.proto, Initial: counts}
+			cfg := asyncnet.Config{
+				N: spec.N, Protocol: comp.proto, Initial: counts,
+				Mode: asyncnet.Mode(spec.Mode),
+			}
 			newRunner = func(seed int64) (harness.Runner, error) {
 				cfg.Seed = seed
 				return asyncnet.NewRunner(cfg)

@@ -77,16 +77,25 @@ func (s *Server) resultFromStore(key string) (*JobResult, bool) {
 // reruns it.
 const restartableErr = "interrupted by daemon restart; resubmit to retry"
 
+// restartableJob pairs an interrupted job with its WAL-preserved spec,
+// for the -resume-interrupted path.
+type restartableJob struct {
+	job  *Job
+	spec JobSpec
+}
+
 // recoverJobs rebuilds the job table from the store's replayed WAL: job
 // metadata and statuses return to /v1/jobs, the most recently finished
 // results warm the LRU from disk (up to its capacity), and jobs that were
 // queued or mid-run at crash time are marked failed-restartable — with
 // that transition journaled, so the next recovery replays them as plain
-// failures. Runs once, from New, before the workers start.
-func (s *Server) recoverJobs() {
+// failures. It returns the interrupted jobs whose specs survived in the
+// WAL, so New can resubmit them under Config.ResumeInterrupted. Runs
+// once, from New, before the workers start.
+func (s *Server) recoverJobs() []restartableJob {
 	recovered := s.store.Recovered()
 	if len(recovered) == 0 {
-		return
+		return nil
 	}
 
 	// Choose which results to warm: newest finishers first, one load per
@@ -132,10 +141,12 @@ func (s *Server) recoverJobs() {
 
 	now := time.Now()
 	maxID := 0
+	var restartable []restartableJob
 	for _, rj := range recovered {
 		job := &Job{ID: rj.ID, Key: rj.Key, rows: newRowBuffer(), done: make(chan struct{})}
+		specOK := false
 		if len(rj.Spec) > 0 {
-			_ = json.Unmarshal(rj.Spec, &job.spec)
+			specOK = json.Unmarshal(rj.Spec, &job.spec) == nil
 		}
 		if rj.SubmittedAt != 0 {
 			job.created = time.Unix(0, rj.SubmittedAt)
@@ -153,6 +164,9 @@ func (s *Server) recoverJobs() {
 			job.errMsg = restartableErr
 			job.finished = now
 			s.journal(store.JobRecord{Op: store.OpFailed, ID: job.ID, Error: restartableErr, FinishedAt: now.UnixNano()})
+			if specOK {
+				restartable = append(restartable, restartableJob{job: job, spec: job.spec})
+			}
 		case rj.Status == store.OpDone:
 			job.status = StatusDone
 			job.cached = rj.Cached
@@ -176,6 +190,30 @@ func (s *Server) recoverJobs() {
 		}
 	}
 	s.nextID = maxID
+	return restartable
+}
+
+// resumeInterrupted resubmits the jobs a crash caught queued or mid-run,
+// instead of asking the client to retry them. It runs from New after
+// recovery, before the workers start, so resubmissions queue exactly like
+// client POSTs (including cache and single-flight semantics: a twin whose
+// result did land on disk is answered without a sweep). The interrupted
+// original keeps its failed status, with the error amended to name the
+// replacement job.
+func (s *Server) resumeInterrupted(restartable []restartableJob) {
+	for _, r := range restartable {
+		next, err := s.Submit(r.spec)
+		if err != nil {
+			// A full queue (or a spec that no longer validates against the
+			// current limits) leaves the job failed-restartable, exactly as
+			// without the flag.
+			continue
+		}
+		s.resumed++
+		r.job.mu.Lock()
+		r.job.errMsg = fmt.Sprintf("interrupted by daemon restart; resubmitted as %s", next.ID)
+		r.job.mu.Unlock()
+	}
 }
 
 // idNumber extracts the numeric suffix of a job ID ("j000042" → 42) so

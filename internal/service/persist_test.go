@@ -238,6 +238,183 @@ func TestFileBackendPersistsAcrossRestart(t *testing.T) {
 	}
 }
 
+// TestAsyncnetVirtualResultSurvivesRestart is the durability half of the
+// virtual-asyncnet cacheability contract: a virtual-mode asyncnet result
+// is persisted like any other deterministic engine's, so a restarted
+// daemon re-serves it from disk (via GET /v1/results/{key} and a
+// done-on-arrival resubmission) without re-simulating.
+func TestAsyncnetVirtualResultSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	fst := openFileStore(t, dir)
+	srv1 := New(Config{Workers: 1, Store: fst})
+	spec := JobSpec{
+		Source: epidemicSource, Engine: "asyncnet",
+		N: 80, Initial: map[string]int{"x": 70, "y": 10}, Periods: 6, Seed: 5,
+	}
+	job, err := srv1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.done
+	first := job.Snapshot(true)
+	if first.Status != StatusDone || first.Cached || first.Mode != ModeVirtual {
+		t.Fatalf("first virtual asyncnet run %+v", first)
+	}
+	firstJSON, err := json.Marshal(first.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1.Close()
+	if err := fst.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fst2 := openFileStore(t, dir)
+	t.Cleanup(func() { fst2.Close() }) // after the server cleanup below
+	srv2, ts := newTestServer(t, Config{Workers: 1, Store: fst2})
+
+	// The persisted blob is reachable by its content address.
+	resp, body := doJSON(t, http.MethodGet, ts.URL+"/v1/results/"+job.Key, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET asyncnet result after restart: %d %s", resp.StatusCode, body)
+	}
+	if !bytes.Equal(body, firstJSON) {
+		t.Fatal("persisted asyncnet result differs from the original")
+	}
+
+	// The identical spec is answered from disk without a sweep.
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("asyncnet resubmit after restart: %d %s", resp.StatusCode, data)
+	}
+	st := decodeStatus(t, data)
+	if st.Status != StatusDone || !st.Cached || st.CacheKey != job.Key {
+		t.Fatalf("asyncnet resubmit after restart %+v", st)
+	}
+	if n := srv2.SweepsExecuted(); n != 0 {
+		t.Fatalf("restarted daemon ran %d sweeps serving a persisted asyncnet result", n)
+	}
+}
+
+// TestWallclockAsyncnetResultNotPersisted: the wallclock oracle stays
+// outside the durability contract — its jobs finish, but no blob lands
+// under their key.
+func TestWallclockAsyncnetResultNotPersisted(t *testing.T) {
+	fst := openFileStore(t, t.TempDir())
+	defer fst.Close()
+	srv := New(Config{Workers: 1, Store: fst})
+	defer srv.Close()
+	spec := JobSpec{
+		Source: epidemicSource, Engine: "asyncnet", Mode: ModeWallclock,
+		N: 60, Initial: map[string]int{"x": 50, "y": 10}, Periods: 2,
+	}
+	job, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.done
+	if st := job.Snapshot(false); st.Status != StatusDone {
+		t.Fatalf("wallclock job finished %s: %s", st.Status, st.Error)
+	}
+	if _, err := fst.GetResult(job.Key); err == nil {
+		t.Fatal("wallclock asyncnet result was persisted")
+	}
+}
+
+// TestResumeInterruptedRestartsJobs: with Config.ResumeInterrupted, a job
+// the crash caught mid-run is resubmitted by the recovering daemon itself
+// — the replacement runs to done, the original stays failed with an error
+// naming it, and the stats count the resume.
+func TestResumeInterruptedRestartsJobs(t *testing.T) {
+	dir := t.TempDir()
+	fst := openFileStore(t, dir)
+	spec := smallSpec()
+	specData, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("feedc0de", 8)
+	for _, rec := range []store.JobRecord{
+		{Op: store.OpSubmitted, ID: "j000003", Key: key, Spec: specData, SubmittedAt: time.Now().UnixNano()},
+		{Op: store.OpRunning, ID: "j000003", StartedAt: time.Now().UnixNano()},
+	} {
+		if err := fst.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fst.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fst2 := openFileStore(t, dir)
+	defer fst2.Close()
+	srv := New(Config{Workers: 1, Store: fst2, ResumeInterrupted: true})
+	defer srv.Close()
+
+	if got := srv.Stats().ResumedJobs; got != 1 {
+		t.Fatalf("resumed_jobs = %d, want 1", got)
+	}
+	orig, ok := srv.job("j000003")
+	if !ok {
+		t.Fatal("interrupted job not recovered")
+	}
+	st := orig.Snapshot(false)
+	if st.Status != StatusFailed || !strings.Contains(st.Error, "resubmitted as j000004") {
+		t.Fatalf("interrupted original recovered as %+v", st)
+	}
+	resub, ok := srv.job("j000004")
+	if !ok {
+		t.Fatal("resubmitted job not registered")
+	}
+	select {
+	case <-resub.done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("resubmitted job did not finish")
+	}
+	rst := resub.Snapshot(true)
+	if rst.Status != StatusDone || rst.Result == nil {
+		t.Fatalf("resubmitted job finished %+v", rst)
+	}
+	if n := srv.SweepsExecuted(); n != 1 {
+		t.Fatalf("resume ran %d sweeps, want 1", n)
+	}
+}
+
+// TestResumeInterruptedOffLeavesJobsFailed: without the flag the old
+// contract holds — the interrupted job comes back failed-restartable and
+// nothing is enqueued.
+func TestResumeInterruptedOffLeavesJobsFailed(t *testing.T) {
+	dir := t.TempDir()
+	fst := openFileStore(t, dir)
+	spec := smallSpec()
+	specData, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range []store.JobRecord{
+		{Op: store.OpSubmitted, ID: "j000001", Key: strings.Repeat("ab", 32), Spec: specData, SubmittedAt: time.Now().UnixNano()},
+		{Op: store.OpRunning, ID: "j000001", StartedAt: time.Now().UnixNano()},
+	} {
+		if err := fst.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fst2 := openFileStore(t, dir)
+	defer fst2.Close()
+	srv := New(Config{Workers: 1, Store: fst2})
+	defer srv.Close()
+	if got := srv.Stats().ResumedJobs; got != 0 {
+		t.Fatalf("resumed_jobs = %d without the flag", got)
+	}
+	st := srv.Stats()
+	if st.Jobs[StatusFailed] != 1 || st.Jobs[StatusQueued] != 0 {
+		t.Fatalf("job table after recovery without the flag: %+v", st.Jobs)
+	}
+}
+
 // TestRecoveryMarksInterruptedJobs replays a WAL that ends mid-run (a
 // crash between running and any terminal record): the job must come back
 // failed-restartable, the transition must be journaled for the next

@@ -7,10 +7,12 @@
 // it on a bounded queue feeding a worker pool; workers route execution
 // through harness.SweepContext so DELETE /v1/jobs/{id} can abort in-flight
 // sweeps at a period boundary. The cache is sound because sweep output is
-// byte-identical for a fixed normalized spec (seed derivation and the
-// agent engine's shard count K are both part of the cache key); the
-// asyncnet engine is the one exception — it schedules real goroutines
-// against wall-clock timers — and is therefore never cached.
+// byte-identical for a fixed normalized spec (seed derivation, the agent
+// engine's shard count K, and the asyncnet mode are all part of the
+// cache key); wallclock-mode asyncnet is the one exception — it
+// schedules real goroutines against wall-clock timers — and is therefore
+// never cached, while the default virtual mode runs on a deterministic
+// discrete-event scheduler and caches like every other engine.
 //
 // Durability is pluggable (internal/store): job lifecycle transitions are
 // journaled to the configured Store and completed results are written as
@@ -70,6 +72,11 @@ type Config struct {
 	// store's lifetime and must Close it only after Server.Close returns
 	// (shutdown journals the cancellation of still-queued jobs).
 	Store store.Store
+	// ResumeInterrupted resubmits jobs that recovery found queued or
+	// mid-run at crash time (their specs are preserved in the WAL)
+	// instead of leaving the retry to the client. The interrupted job
+	// still reports failed, with its error naming the resubmission.
+	ResumeInterrupted bool
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +136,7 @@ type Server struct {
 	diskHits  atomic.Int64
 	storeErrs atomic.Int64
 	warmed    int // results loaded from disk into the LRU at startup
+	resumed   int // interrupted jobs auto-resubmitted at startup
 }
 
 var errNotFound = errors.New("job not found")
@@ -148,7 +156,10 @@ func New(cfg Config) *Server {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
-	s.recoverJobs()
+	restartable := s.recoverJobs()
+	if cfg.ResumeInterrupted {
+		s.resumeInterrupted(restartable)
+	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -324,6 +335,9 @@ type Stats struct {
 	// WarmedResults counts results loaded from disk into the LRU at
 	// startup.
 	WarmedResults int `json:"warmed_results"`
+	// ResumedJobs counts interrupted jobs the daemon resubmitted itself
+	// at startup (Config.ResumeInterrupted / odeprotod -resume-interrupted).
+	ResumedJobs int `json:"resumed_jobs"`
 	// StoreErrors counts store faults the service absorbed: failed WAL
 	// appends (journaling is best-effort) and result blobs that exist but
 	// cannot be read or decoded.
@@ -345,6 +359,7 @@ func (s *Server) stats() Stats {
 		Cache:          s.cache.stats(),
 		ResultDiskHits: s.diskHits.Load(),
 		WarmedResults:  s.warmed,
+		ResumedJobs:    s.resumed,
 		StoreErrors:    s.storeErrs.Load(),
 		Store:          s.store.Stats(),
 	}

@@ -531,23 +531,79 @@ func TestStatsAndHealth(t *testing.T) {
 	}
 }
 
-func TestAsyncnetJobsRunButSkipTheCache(t *testing.T) {
+// TestAsyncnetVirtualJobsAreCached: the virtual-time scheduler made
+// asyncnet deterministic, so an identical second POST is a pure cache hit
+// — byte-identical result, no second sweep.
+func TestAsyncnetVirtualJobsAreCached(t *testing.T) {
 	srv, ts := newTestServer(t, Config{Workers: 1})
 	spec := JobSpec{
 		Source: epidemicSource, Engine: "asyncnet",
+		N: 60, Initial: map[string]int{"x": 50, "y": 10}, Periods: 4,
+	}
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit asyncnet: %d %s", resp.StatusCode, data)
+	}
+	first := waitStatus(t, ts.URL, decodeStatus(t, data).ID, StatusDone, 60*time.Second)
+	if first.Cached || first.Mode != ModeVirtual {
+		t.Fatalf("first asyncnet run: cached=%v mode=%q", first.Cached, first.Mode)
+	}
+	total := 0
+	for _, c := range first.Result.Runs[0].Rows[len(first.Result.Runs[0].Rows)-1].Counts {
+		total += c
+	}
+	if total != 60 {
+		t.Fatalf("asyncnet final counts sum to %d", total)
+	}
+
+	resp, data = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("duplicate asyncnet submit: %d %s", resp.StatusCode, data)
+	}
+	dup := decodeStatus(t, data)
+	if dup.Status != StatusDone || !dup.Cached || dup.CacheKey != first.CacheKey {
+		t.Fatalf("duplicate virtual asyncnet POST not served from cache: %+v", dup)
+	}
+	if n := srv.SweepsExecuted(); n != 1 {
+		t.Fatalf("two identical virtual asyncnet posts ran %d sweeps, want 1", n)
+	}
+	got := waitStatus(t, ts.URL, dup.ID, StatusDone, 10*time.Second)
+	a, err := json.Marshal(first.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(got.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("cached virtual asyncnet result differs from the original")
+	}
+}
+
+// TestAsyncnetWallclockJobsSkipTheCache: wallclock mode schedules real
+// goroutines against real timers and remains the one uncacheable engine
+// configuration — every identical POST runs its own sweep.
+func TestAsyncnetWallclockJobsSkipTheCache(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1})
+	spec := JobSpec{
+		Source: epidemicSource, Engine: "asyncnet", Mode: ModeWallclock,
 		N: 60, Initial: map[string]int{"x": 50, "y": 10}, Periods: 2,
 	}
 	for i := 1; i <= 2; i++ {
 		resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", spec)
 		if resp.StatusCode != http.StatusAccepted {
-			t.Fatalf("submit asyncnet %d: %d %s", i, resp.StatusCode, data)
+			t.Fatalf("submit wallclock asyncnet %d: %d %s", i, resp.StatusCode, data)
 		}
 		st := waitStatus(t, ts.URL, decodeStatus(t, data).ID, StatusDone, 60*time.Second)
 		if st.Cached {
-			t.Fatal("asyncnet job served from cache")
+			t.Fatal("wallclock asyncnet job served from cache")
+		}
+		if st.Mode != ModeWallclock {
+			t.Fatalf("wallclock job reports mode %q", st.Mode)
 		}
 		if n := srv.SweepsExecuted(); n != int64(i) {
-			t.Fatalf("after %d asyncnet posts: %d sweeps", i, n)
+			t.Fatalf("after %d wallclock posts: %d sweeps", i, n)
 		}
 		total := 0
 		for _, c := range st.Result.Runs[0].Rows[len(st.Result.Runs[0].Rows)-1].Counts {

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"odeproto/internal/asyncnet"
 	"odeproto/internal/harness"
 	"odeproto/internal/ode"
 )
@@ -17,6 +18,12 @@ const (
 	EngineSharded   = "sharded"
 	EngineAggregate = "aggregate"
 	EngineAsyncnet  = "asyncnet"
+)
+
+// Asyncnet execution modes accepted by JobSpec.Mode (asyncnet jobs only).
+const (
+	ModeVirtual   = string(asyncnet.ModeVirtual)
+	ModeWallclock = string(asyncnet.ModeWallclock)
 )
 
 // EventSpec schedules one perturbation, applied before the Step of period
@@ -68,6 +75,12 @@ type JobSpec struct {
 	// Engine selects the simulation substrate: agent, sharded (agent with
 	// Shards ≥ 2), aggregate, or asyncnet. Default agent.
 	Engine string `json:"engine,omitempty"`
+	// Mode selects the asyncnet execution substrate: "virtual" (the
+	// default — the deterministic virtual-time discrete-event scheduler,
+	// whose results are cacheable) or "wallclock" (real goroutines and
+	// timers; nondeterministic, never cached). Only meaningful with
+	// engine "asyncnet".
+	Mode string `json:"mode,omitempty"`
 	// N is the group size.
 	N int `json:"n"`
 	// Initial gives starting counts per state; keys must be protocol
@@ -174,6 +187,15 @@ func (s *JobSpec) normalize(lim Limits) (*compiled, error) {
 		}
 	default:
 		return nil, fmt.Errorf("unknown engine %q (want agent, sharded, aggregate, or asyncnet)", s.Engine)
+	}
+	if s.Engine == EngineAsyncnet {
+		mode, err := asyncnet.Mode(s.Mode).Normalize()
+		if err != nil {
+			return nil, err
+		}
+		s.Mode = string(mode)
+	} else if s.Mode != "" {
+		return nil, fmt.Errorf("mode %q is only meaningful for engine %q", s.Mode, EngineAsyncnet)
 	}
 	if len(s.Params) == 0 {
 		s.Params = nil
@@ -283,6 +305,7 @@ type cacheKeySpec struct {
 	NoRewrite   bool           `json:"no_rewrite"`
 	Slack       string         `json:"slack"`
 	Engine      string         `json:"engine"`
+	Mode        string         `json:"mode"`
 	N           int            `json:"n"`
 	Initial     map[string]int `json:"initial"`
 	Periods     int            `json:"periods"`
@@ -297,16 +320,20 @@ type cacheKeySpec struct {
 // of the canonical JSON encoding of everything that determines the job's
 // output. The shard count K is deliberately part of the key — output is
 // byte-identical for a fixed (seed, K) but different K are different RNG
-// streams.
+// streams. The asyncnet mode is part of the key for the same reason
+// (virtual and wallclock are different executions of the model; only the
+// virtual one is a function of the spec at all). Version 2 added the
+// mode field.
 func (s *JobSpec) cacheKey(comp *compiled) string {
 	ks := cacheKeySpec{
-		Version:     1,
+		Version:     2,
 		System:      comp.input.String(),
 		P:           s.P,
 		FailureRate: s.FailureRate,
 		NoRewrite:   s.NoRewrite,
 		Slack:       s.Slack,
 		Engine:      s.Engine,
+		Mode:        s.Mode,
 		N:           s.N,
 		Initial:     s.Initial,
 		Periods:     s.Periods,
@@ -326,9 +353,11 @@ func (s *JobSpec) cacheKey(comp *compiled) string {
 }
 
 // cacheable reports whether the spec's results may be served from the
-// content-addressed cache. Only the deterministic engines qualify: the
-// asyncnet runtime schedules real goroutines against wall-clock timers,
+// content-addressed cache. Only the deterministic engines qualify. Since
+// the virtual-time scheduler landed, that includes asyncnet in its
+// default "virtual" mode; the one remaining exception is wallclock-mode
+// asyncnet, which schedules real goroutines against wall-clock timers,
 // so its output is not a pure function of the spec.
 func (s *JobSpec) cacheable() bool {
-	return s.Engine != EngineAsyncnet
+	return s.Engine != EngineAsyncnet || s.Mode != ModeWallclock
 }
