@@ -13,11 +13,13 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"odeproto/internal/asyncnet"
 	"odeproto/internal/churn"
+	"odeproto/internal/cluster"
 	"odeproto/internal/core"
 	"odeproto/internal/endemic"
 	"odeproto/internal/epidemic"
@@ -436,6 +438,170 @@ func BenchmarkServiceCacheMiss(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 }
 
+// --- cluster benchmarks ---
+
+// startBenchCluster boots n odeprotod-shaped nodes — service, ring
+// router, real loopback HTTP server — sharing one peer list, and returns
+// their base URLs, services (for the sweep counters), and a cleanup.
+func startBenchCluster(b *testing.B, n int) ([]string, []*service.Server, func()) {
+	b.Helper()
+	hts := make([]*httptest.Server, n)
+	peers := make([]string, n)
+	for i := range hts {
+		hts[i] = httptest.NewUnstartedServer(nil)
+		peers[i] = hts[i].Listener.Addr().String()
+	}
+	svcs := make([]*service.Server, n)
+	routers := make([]*cluster.Router, n)
+	bases := make([]string, n)
+	for i := range hts {
+		prefix, err := cluster.NodePrefix(peers, peers[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		svcs[i] = service.New(service.Config{Workers: 1, JobIDPrefix: prefix})
+		rt, err := cluster.New(cluster.Config{Peers: peers, Self: peers[i], Service: svcs[i]})
+		if err != nil {
+			b.Fatal(err)
+		}
+		routers[i] = rt
+		hts[i].Config.Handler = rt
+		hts[i].Start()
+		bases[i] = hts[i].URL
+	}
+	cleanup := func() {
+		for i := range hts {
+			hts[i].Close()
+			routers[i].Close()
+			svcs[i].Close()
+		}
+	}
+	return bases, svcs, cleanup
+}
+
+// postClusterJob drives one POST /v1/jobs over real HTTP against base
+// and polls the returned job (through the same node, exercising the
+// ID-routed proxy when the job lives elsewhere) until it is done.
+// Errors use b.Error, not b.Fatal: this runs inside RunParallel workers.
+func postClusterJob(b *testing.B, client *http.Client, base string, body []byte) bool {
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Error(err)
+		return false
+	}
+	var st service.JobStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil || (resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted) {
+		b.Errorf("submit: %d %v", resp.StatusCode, err)
+		return false
+	}
+	for st.Status == service.StatusQueued || st.Status == service.StatusRunning {
+		time.Sleep(400 * time.Microsecond)
+		resp, err := client.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			b.Error(err)
+			return false
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			b.Errorf("poll: %d %v", resp.StatusCode, err)
+			return false
+		}
+	}
+	if st.Status != service.StatusDone {
+		b.Errorf("job finished %s: %s", st.Status, st.Error)
+		return false
+	}
+	return true
+}
+
+// BenchmarkClusterCacheMiss measures fresh-spec throughput of a 3-node
+// ring absorbing 8 concurrent clients round-robined across the nodes:
+// every POST routes to its key's owner, so the three worker pools share
+// the load while each key still runs exactly once. The comparison
+// baseline is BenchmarkClusterCacheMissSingleNode (same transport, same
+// client parallelism, one node).
+func BenchmarkClusterCacheMiss(b *testing.B) {
+	bases, svcs, cleanup := startBenchCluster(b, 3)
+	defer cleanup()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConns: 128, MaxIdleConnsPerHost: 64}}
+	var seq atomic.Int64
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := seq.Add(1)
+			postClusterJob(b, client, bases[int(i)%len(bases)], benchServiceSpec(i))
+		}
+	})
+	b.StopTimer()
+	var sweeps int64
+	for _, s := range svcs {
+		sweeps += s.SweepsExecuted()
+	}
+	if sweeps != int64(b.N) {
+		b.Fatalf("cluster executed %d sweeps for %d distinct specs", sweeps, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	b.ReportMetric(float64(len(bases)), "nodes")
+}
+
+// BenchmarkClusterCacheMissSingleNode is the single-node baseline for
+// the pair: the identical client load (8 concurrent clients, fresh seeds,
+// real loopback HTTP) against one plain odeprotod service.
+func BenchmarkClusterCacheMissSingleNode(b *testing.B) {
+	srv := service.New(service.Config{Workers: 1})
+	defer srv.Close()
+	ht := httptest.NewServer(srv.Handler())
+	defer ht.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConns: 128, MaxIdleConnsPerHost: 64}}
+	var seq atomic.Int64
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			postClusterJob(b, client, ht.URL, benchServiceSpec(seq.Add(1)))
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	b.ReportMetric(1, "nodes")
+}
+
+// BenchmarkClusterCacheHit measures duplicate-spec throughput on the
+// ring: every node serves the same key, two of the three by proxying to
+// the owner over the pooled connections, and the sweep counter stays at
+// one across the whole run.
+func BenchmarkClusterCacheHit(b *testing.B) {
+	bases, svcs, cleanup := startBenchCluster(b, 3)
+	defer cleanup()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConns: 128, MaxIdleConnsPerHost: 64}}
+	body := benchServiceSpec(1)
+	if !postClusterJob(b, client, bases[0], body) { // warm the owner's cache
+		b.Fatal("warmup failed")
+	}
+	var seq atomic.Int64
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			postClusterJob(b, client, bases[int(seq.Add(1))%len(bases)], body)
+		}
+	})
+	b.StopTimer()
+	var sweeps int64
+	for _, s := range svcs {
+		sweeps += s.SweepsExecuted()
+	}
+	if sweeps != 1 {
+		b.Fatalf("cache-hit benchmark executed %d sweeps, want 1", sweeps)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	b.ReportMetric(float64(len(bases)), "nodes")
+}
+
 // --- persistence benchmarks ---
 
 // BenchmarkStoreAppend measures the durable job journal's append path —
@@ -457,6 +623,50 @@ func BenchmarkStoreAppend(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "appends/s")
+}
+
+// benchStoreAppendParallel measures the journal under concurrent
+// appenders — the submit-path load a cluster front-end fans onto one node
+// — with and without group commit. The fsyncs metric shows the
+// coalescing: per-append without group commit, per-batch with it.
+func benchStoreAppendParallel(b *testing.B, opts store.Options) {
+	st, err := store.Open(b.TempDir(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	spec := json.RawMessage(`{"source":"x' = -x*y\ny' = x*y\n","n":400,"periods":25,"seed":7}`)
+	var seq atomic.Int64
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := seq.Add(1)
+			rec := store.JobRecord{Op: store.OpSubmitted, ID: fmt.Sprintf("j%06d", i),
+				Key: "abcd1234", Spec: spec, SubmittedAt: i}
+			if err := st.Append(rec); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "appends/s")
+	b.ReportMetric(float64(st.Stats().WALSyncs), "fsyncs")
+}
+
+// BenchmarkStoreAppendParallel is the contended baseline: every append
+// pays its own fsync.
+func BenchmarkStoreAppendParallel(b *testing.B) {
+	benchStoreAppendParallel(b, store.Options{})
+}
+
+// BenchmarkStoreAppendGroupCommit is the same contended load with
+// Options.GroupCommit: concurrent appenders coalesce into one fsync per
+// batch, so appends/s should beat the parallel baseline by roughly the
+// achieved batch size.
+func BenchmarkStoreAppendGroupCommit(b *testing.B) {
+	benchStoreAppendParallel(b, store.Options{GroupCommit: true})
 }
 
 // benchStoreDir builds a data dir holding jobs completed lifecycles and

@@ -15,7 +15,16 @@
 // content-addressed blobs (internal/store), so a restarted daemon
 // recovers its job list, warms the result cache from disk, and serves
 // previously computed sweeps without re-simulating (see README.md
-// "Durability").
+// "Durability"). -wal-group-commit coalesces concurrent WAL appends
+// into shared fsyncs.
+//
+// With -peers, the daemon joins a static cluster: every node runs the
+// identical peer list, any node accepts any request, and a
+// consistent-hash ring over the job's content address routes each
+// request to its owner (see internal/cluster and README.md "Running a
+// cluster"):
+//
+//	odeprotod -addr :8080 -peers host1:8080,host2:8080,host3:8080 -self host1:8080
 //
 // Quick tour (see README.md "Running the service" for the full schema):
 //
@@ -38,9 +47,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"odeproto/internal/cluster"
 	"odeproto/internal/service"
 	"odeproto/internal/store"
 )
@@ -70,8 +82,11 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		maxPeriods     = fs.Int("max-periods", 0, "per-job period limit (0 = service default)")
 		dataDir        = fs.String("data", "", "durable data directory: WAL-journaled jobs + persisted results (empty = in-memory only)")
 		walSegBytes    = fs.Int64("wal-segment-bytes", 0, "rotate WAL segments beyond this size (0 = store default, 4 MiB)")
+		walGroupCommit = fs.Bool("wal-group-commit", false, "coalesce concurrent WAL appends into shared fsyncs (with -data)")
 		compactOnStart = fs.Bool("compact-on-start", false, "compact the WAL after recovery, dropping superseded records")
 		resumeInterr   = fs.Bool("resume-interrupted", false, "resubmit jobs the previous process left queued or mid-run (specs are recovered from the WAL)")
+		peersFlag      = fs.String("peers", "", "comma-separated static cluster peer list (host:port, this node included); every node must be started with the identical list")
+		selfFlag       = fs.String("self", "", "this node's entry in -peers (default: inferred from the bound listen address)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -80,9 +95,35 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		return err
 	}
 
+	// Listen before building the service: cluster membership infers this
+	// node's identity from the bound port (":0" in tests resolves here).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close() // idempotent; Serve/Shutdown normally close it first
+
+	var peerList []string
+	self, idPrefix := "", ""
+	if *peersFlag != "" {
+		peerList, err = cluster.NormalizePeers(strings.Split(*peersFlag, ","))
+		if err != nil {
+			return err
+		}
+		self = *selfFlag
+		if self == "" {
+			if self, err = inferSelf(peerList, ln.Addr()); err != nil {
+				return err
+			}
+		}
+		if idPrefix, err = cluster.NodePrefix(peerList, self); err != nil {
+			return err
+		}
+	}
+
 	var backend store.Store
 	if *dataDir != "" {
-		fst, err := store.Open(*dataDir, store.Options{SegmentBytes: *walSegBytes})
+		fst, err := store.Open(*dataDir, store.Options{SegmentBytes: *walSegBytes, GroupCommit: *walGroupCommit})
 		if err != nil {
 			return fmt.Errorf("opening data dir %s: %w", *dataDir, err)
 		}
@@ -106,14 +147,23 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		Limits:            service.Limits{MaxN: *maxN, MaxPeriods: *maxPeriods},
 		Store:             backend,
 		ResumeInterrupted: *resumeInterr,
+		JobIDPrefix:       idPrefix,
 	})
 	defer srv.Close()
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
+	handler := http.Handler(srv.Handler())
+	if len(peerList) > 0 {
+		router, err := cluster.New(cluster.Config{Peers: peerList, Self: self, Service: srv})
+		if err != nil {
+			return err
+		}
+		defer router.Close()
+		handler = router
+		log.Printf("odeprotod: cluster node %s (job-id prefix %s) in a ring of %d peers",
+			self, idPrefix, len(peerList))
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	httpSrv := &http.Server{Handler: handler}
 	log.Printf("odeprotod: serving on %s (%d workers, queue %d, cache %d)",
 		ln.Addr(), *workers, *queue, *cacheSize)
 	if ready != nil {
@@ -122,6 +172,12 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
+	return waitShutdown(ctx, errc, httpSrv, srv)
+}
+
+// waitShutdown blocks until the listener fails or the context is
+// cancelled, then drains in-flight work in dependency order.
+func waitShutdown(ctx context.Context, errc <-chan error, httpSrv *http.Server, srv *service.Server) error {
 	select {
 	case err := <-errc:
 		return err
@@ -136,5 +192,45 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		}
 		log.Printf("odeprotod: shut down")
 		return nil
+	}
+}
+
+// inferSelf picks this node's entry in the normalized peer list by
+// matching the bound listener's port — and host, when both sides commit
+// to one — so single-host clusters (distinct ports on loopback) need no
+// -self flag. Ambiguity (several peers sharing the bound port, the
+// normal shape for a multi-host cluster) is an error directing the
+// operator to -self rather than a guess.
+func inferSelf(peers []string, bound net.Addr) (string, error) {
+	tcp, ok := bound.(*net.TCPAddr)
+	if !ok {
+		return "", fmt.Errorf("cannot infer -self from listener address %v; pass -self", bound)
+	}
+	boundPort := strconv.Itoa(tcp.Port)
+	var matches []string
+	for _, p := range peers {
+		host, port, err := net.SplitHostPort(p)
+		if err != nil || port != boundPort {
+			continue
+		}
+		ip := net.ParseIP(host)
+		switch {
+		case tcp.IP.IsUnspecified():
+			// Bound to all interfaces: any host with this port could be us.
+			matches = append(matches, p)
+		case ip != nil && ip.Equal(tcp.IP):
+			matches = append(matches, p)
+		case host == "localhost" && tcp.IP.IsLoopback():
+			matches = append(matches, p)
+		}
+	}
+	switch len(matches) {
+	case 1:
+		return matches[0], nil
+	case 0:
+		return "", fmt.Errorf("no -peers entry matches the bound address %s; pass -self", bound)
+	default:
+		return "", fmt.Errorf("bound address %s matches %d -peers entries (%s); pass -self",
+			bound, len(matches), strings.Join(matches, ", "))
 	}
 }

@@ -5,10 +5,12 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -460,6 +462,130 @@ func TestCrashRecoveryEndToEnd(t *testing.T) {
 	}
 	if stats.ResumedJobs != 0 {
 		t.Fatalf("resumed_jobs = %d for a cleanly finished job", stats.ResumedJobs)
+	}
+}
+
+// TestClusterEndToEnd is the multi-node smoke test: three real daemons
+// on loopback sharing one -peers list, the same spec POSTed through each
+// of them, exactly one sweep executed cluster-wide, and the result
+// readable byte-identically through every node.
+func TestClusterEndToEnd(t *testing.T) {
+	// Reserve three loopback ports, then hand them to the daemons: the
+	// shared -peers list must be known before any node starts, so the
+	// listen addresses cannot stay ":0".
+	addrs := make([]string, 3)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	peers := strings.Join(addrs, ",")
+	bases := make([]string, len(addrs))
+	for i, addr := range addrs {
+		// -self is deliberately omitted on a distinct-port loopback
+		// cluster: the daemon infers it from the bound address.
+		bases[i], _ = startDaemonCtl(t, "-addr", addr, "-workers", "1", "-peers", peers)
+	}
+
+	// Nodes started first probed peers that weren't listening yet; wait
+	// for a probe round to mark everyone up before asserting on health.
+	for deadline := time.Now().Add(15 * time.Second); ; time.Sleep(50 * time.Millisecond) {
+		allUp := true
+		for _, base := range bases {
+			var stats struct {
+				Cluster struct {
+					Peers []struct {
+						Alive bool `json:"alive"`
+					} `json:"peers"`
+				} `json:"cluster"`
+			}
+			if code := getJSON(t, base+"/v1/stats", &stats); code != http.StatusOK {
+				t.Fatalf("stats: %d", code)
+			}
+			for _, p := range stats.Cluster.Peers {
+				allUp = allUp && p.Alive
+			}
+		}
+		if allUp {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("peers never all reported alive")
+		}
+	}
+
+	spec := map[string]any{
+		"source":  "x' = -x*y\ny' = x*y\n",
+		"n":       400,
+		"initial": map[string]int{"x": 380, "y": 20},
+		"periods": 25,
+		"seed":    3,
+	}
+	key := ""
+	for i, base := range bases {
+		code, body := postJSON(t, base+"/v1/jobs", spec)
+		if code != http.StatusAccepted && code != http.StatusOK {
+			t.Fatalf("submit via node %d: %d %s", i, code, body)
+		}
+		var st service.JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if key == "" {
+			key = st.CacheKey
+		} else if st.CacheKey != key {
+			t.Fatalf("node %d filed the spec under %s, want %s", i, st.CacheKey, key)
+		}
+		// The ID is routable from any node, not just the one POSTed to.
+		pollDone(t, bases[(i+1)%len(bases)], st.ID, time.Minute)
+	}
+
+	var first []byte
+	var sweeps int64
+	for i, base := range bases {
+		resp, err := http.Get(base + "/v1/results/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET result via node %d: %d %v", i, resp.StatusCode, err)
+		}
+		if first == nil {
+			first = body
+		} else if !bytes.Equal(first, body) {
+			t.Fatalf("result bytes differ between nodes")
+		}
+
+		var stats struct {
+			SweepsExecuted int64 `json:"sweeps_executed"`
+			Cluster        struct {
+				Self  string `json:"self"`
+				Ring  string `json:"ring"`
+				Peers []struct {
+					Alive bool `json:"alive"`
+				} `json:"peers"`
+			} `json:"cluster"`
+		}
+		if code := getJSON(t, base+"/v1/stats", &stats); code != http.StatusOK {
+			t.Fatalf("stats via node %d: %d", i, code)
+		}
+		if stats.Cluster.Self == "" || len(stats.Cluster.Peers) != len(addrs) {
+			t.Fatalf("node %d stats carry no cluster section: %+v", i, stats.Cluster)
+		}
+		for pi, p := range stats.Cluster.Peers {
+			if !p.Alive {
+				t.Fatalf("node %d sees peer %d down: %+v", i, pi, stats.Cluster)
+			}
+		}
+		sweeps += stats.SweepsExecuted
+	}
+	if sweeps != 1 {
+		t.Fatalf("cluster executed %d sweeps for one spec, want 1", sweeps)
 	}
 }
 

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+const (
+	defaultProbeInterval = 1 * time.Second
+	defaultProbeTimeout  = 750 * time.Millisecond
+)
+
+// peerState tracks one remote peer's reachability. Nodes start presumed
+// alive (marking them down before the first probe would shed load from a
+// healthy cluster at startup); a failed forward or probe marks them down
+// immediately, and only a successful probe of /v1/healthz brings them
+// back. The router skips down peers when choosing a forwarding target
+// but falls back to trying them anyway when every candidate is down —
+// a stale verdict must never turn a routable request into an error.
+type peerState struct {
+	addr string
+
+	mu       sync.Mutex
+	alive    bool
+	lastErr  string
+	lastSeen time.Time // last successful probe or forward
+}
+
+func (p *peerState) isAlive() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.alive
+}
+
+func (p *peerState) markUp() {
+	p.mu.Lock()
+	p.alive = true
+	p.lastErr = ""
+	p.lastSeen = time.Now()
+	p.mu.Unlock()
+}
+
+func (p *peerState) markDown(err error) {
+	p.mu.Lock()
+	p.alive = false
+	p.lastErr = err.Error()
+	p.mu.Unlock()
+}
+
+// PeerStatus is one peer's row in the cluster section of /v1/stats.
+type PeerStatus struct {
+	Addr  string `json:"addr"`
+	Self  bool   `json:"self,omitempty"`
+	Alive bool   `json:"alive"`
+	// LastError is the most recent probe/forward failure; cleared when
+	// the peer comes back.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// probeLoop polls every remote peer's /v1/healthz until stop is closed.
+// It is the recovery path: forwards mark peers down passively, but only
+// the prober marks them back up.
+func (rt *Router) probeLoop() {
+	defer rt.probeWG.Done()
+	ticker := time.NewTicker(rt.probeInterval)
+	defer ticker.Stop()
+	for {
+		rt.probeAll()
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+func (rt *Router) probeAll() {
+	for i, p := range rt.peers {
+		if i == rt.self {
+			continue
+		}
+		if err := rt.probe(p.addr); err != nil {
+			p.markDown(err)
+			rt.probeFailures.Add(1)
+		} else {
+			p.markUp()
+		}
+	}
+}
+
+func (rt *Router) probe(addr string) error {
+	req, err := http.NewRequest(http.MethodGet, "http://"+addr+"/v1/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.probeClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz returned %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,523 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"odeproto/internal/service"
+)
+
+// Forwarded requests carry the sender's ring fingerprint. Its presence
+// means "already routed, serve locally" (one hop maximum — a proxy loop
+// is structurally impossible); its value lets the receiver detect that
+// the two nodes were started with different -peers lists.
+const headerForwarded = "X-Odeproto-Ring"
+
+// headerRingMismatch marks a 502 as a ring-disagreement rejection so the
+// forwarding node passes it through verbatim instead of retrying it onto
+// a successor: a config error should surface, not be papered over.
+const headerRingMismatch = "X-Odeproto-Ring-Mismatch"
+
+// maxSpecBytes bounds how much of a POST /v1/jobs body the router reads
+// to compute the routing key. Larger bodies than any valid spec (the
+// limits cap ODE source length and numeric ranges far below this) are
+// served locally and rejected there.
+const maxSpecBytes = 8 << 20
+
+// Config wires a Router in front of a local service instance.
+type Config struct {
+	// Peers is the full static cluster membership, self included, as
+	// host:port. Every node must be started with the same list.
+	Peers []string
+	// Self is this node's entry in Peers.
+	Self string
+	// Service is the local instance requests resolve to when this node
+	// is (or substitutes for) the key's owner.
+	Service *service.Server
+	// VNodes is the ring points per node (default 64).
+	VNodes int
+	// ProbeInterval is the health-check period (default 1s);
+	// ProbeTimeout bounds one probe (default 750ms).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// DialTimeout bounds connection establishment to a peer (default
+	// 2s). Established connections have no overall deadline: job streams
+	// are long-lived by design.
+	DialTimeout time.Duration
+}
+
+// Router is the cluster front-end an odeprotod node serves instead of
+// the bare service mux. It owns the ring, the per-peer health state, the
+// pooled forwarding client, and the background prober.
+type Router struct {
+	ring        *ring
+	self        int
+	selfAddr    string
+	fp          string
+	vnodes      int
+	local       http.Handler
+	svc         *service.Server
+	client      *http.Client // forwards: pooled, no overall deadline
+	probeClient *http.Client // probes: short per-request timeout
+	peers       []*peerState // indexed like ring.nodes
+
+	probeInterval time.Duration
+	probeWG       sync.WaitGroup
+	stop          chan struct{}
+	closeOnce     sync.Once
+
+	ownerLocal     atomic.Int64 // requests this node owned and served
+	forwarded      atomic.Int64 // requests proxied to another node
+	retried        atomic.Int64 // forwards that fell through to a ring successor
+	ringMismatches atomic.Int64 // forwards rejected for ring disagreement
+	probeFailures  atomic.Int64
+}
+
+// New validates the membership, builds the ring, and starts the health
+// prober. Callers must Close the router to stop the prober.
+func New(cfg Config) (*Router, error) {
+	nodes, err := NormalizePeers(cfg.Peers)
+	if err != nil {
+		return nil, err
+	}
+	self := -1
+	selfNorm := strings.ToLower(strings.TrimSpace(cfg.Self))
+	for i, n := range nodes {
+		if n == selfNorm {
+			self = i
+			break
+		}
+	}
+	if self < 0 {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list %v", cfg.Self, nodes)
+	}
+	if cfg.Service == nil {
+		return nil, fmt.Errorf("cluster: no local service configured")
+	}
+	vnodes := cfg.VNodes
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	probeInterval := cfg.ProbeInterval
+	if probeInterval <= 0 {
+		probeInterval = defaultProbeInterval
+	}
+	probeTimeout := cfg.ProbeTimeout
+	if probeTimeout <= 0 {
+		probeTimeout = defaultProbeTimeout
+	}
+	dialTimeout := cfg.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = 2 * time.Second
+	}
+	transport := &http.Transport{
+		DialContext:         (&net.Dialer{Timeout: dialTimeout}).DialContext,
+		MaxIdleConns:        64,
+		MaxIdleConnsPerHost: 16,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	rt := &Router{
+		ring:          newRing(nodes, vnodes),
+		self:          self,
+		selfAddr:      nodes[self],
+		fp:            fingerprint(nodes, vnodes),
+		vnodes:        vnodes,
+		local:         cfg.Service.Handler(),
+		svc:           cfg.Service,
+		client:        &http.Client{Transport: transport},
+		probeClient:   &http.Client{Transport: transport, Timeout: probeTimeout},
+		peers:         make([]*peerState, len(nodes)),
+		probeInterval: probeInterval,
+		stop:          make(chan struct{}),
+	}
+	for i, n := range nodes {
+		rt.peers[i] = &peerState{addr: n, alive: true}
+	}
+	rt.probeWG.Add(1)
+	go rt.probeLoop()
+	return rt, nil
+}
+
+// Close stops the health prober and drops pooled connections. The local
+// service is not touched; its lifetime belongs to the caller.
+func (rt *Router) Close() {
+	rt.closeOnce.Do(func() {
+		close(rt.stop)
+		rt.probeWG.Wait()
+		if t, ok := rt.client.Transport.(*http.Transport); ok {
+			t.CloseIdleConnections()
+		}
+	})
+}
+
+// JobIDPrefix returns the prefix the local service must issue job IDs
+// under ("n<ring index>-") so any node can route an ID back to the node
+// holding the job. Derive it with NodePrefix before building the
+// service, from the same peer list.
+func (rt *Router) JobIDPrefix() string { return nodePrefix(rt.self) }
+
+// NodePrefix computes the job-ID prefix for self within peers — the
+// service needs it at construction time, before the Router exists.
+func NodePrefix(peers []string, self string) (string, error) {
+	nodes, err := NormalizePeers(peers)
+	if err != nil {
+		return "", err
+	}
+	selfNorm := strings.ToLower(strings.TrimSpace(self))
+	for i, n := range nodes {
+		if n == selfNorm {
+			return nodePrefix(i), nil
+		}
+	}
+	return "", fmt.Errorf("cluster: self %q is not in the peer list %v", self, nodes)
+}
+
+func nodePrefix(idx int) string { return fmt.Sprintf("n%d-", idx) }
+
+// jobIDNode parses the node index out of a prefixed job ID
+// ("n2-j000017" → 2). IDs without a parseable prefix route locally —
+// they may predate clustering.
+func jobIDNode(id string) (int, bool) {
+	rest, ok := strings.CutPrefix(id, "n")
+	if !ok {
+		return 0, false
+	}
+	dash := strings.IndexByte(rest, '-')
+	if dash <= 0 {
+		return 0, false
+	}
+	n := 0
+	for _, c := range rest[:dash] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+// ServeHTTP routes one request: forwarded requests are served locally
+// after a fingerprint check, job submissions and result fetches route by
+// content address, job-ID endpoints route by the ID's node prefix, stats
+// get the cluster section attached, and everything else (compile, list,
+// healthz) is local.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if fp := r.Header.Get(headerForwarded); fp != "" {
+		if fp != rt.fp {
+			rt.ringMismatches.Add(1)
+			w.Header().Set(headerRingMismatch, "1")
+			writeJSON(w, http.StatusBadGateway, map[string]string{
+				"error": fmt.Sprintf(
+					"cluster ring mismatch: forwarding peer runs ring %s, this node (%s) runs ring %s over peers %v — every node must be started with an identical -peers list",
+					fp, rt.selfAddr, rt.fp, rt.ring.nodes),
+			})
+			return
+		}
+		rt.local.ServeHTTP(w, r)
+		return
+	}
+
+	path := r.URL.Path
+	switch {
+	case r.Method == http.MethodPost && path == "/v1/jobs":
+		rt.routeSubmit(w, r)
+	case r.Method == http.MethodGet && strings.HasPrefix(path, "/v1/results/"):
+		rt.routeResult(w, r, strings.TrimPrefix(path, "/v1/results/"))
+	case strings.HasPrefix(path, "/v1/jobs/"):
+		rt.routeJob(w, r, strings.TrimPrefix(path, "/v1/jobs/"))
+	case r.Method == http.MethodGet && path == "/v1/stats":
+		rt.handleStats(w)
+	default:
+		rt.local.ServeHTTP(w, r)
+	}
+}
+
+// routeSubmit reads the spec, computes its content address, and hands
+// the request to the key's owner — locally when this node owns the key,
+// otherwise proxied, falling through to ring successors while the
+// preferred nodes are down. Bodies that fail to decode or validate are
+// served locally so the client gets the service's own 400.
+func (rt *Router) routeSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "reading request body: " + err.Error()})
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{
+			"error": fmt.Sprintf("request body exceeds %d bytes", maxSpecBytes)})
+		return
+	}
+	var spec service.JobSpec
+	key := ""
+	if json.Unmarshal(body, &spec) == nil {
+		if k, err := rt.svc.RouteKey(spec); err == nil {
+			key = k
+		}
+	}
+	if key == "" {
+		// Not routable: let the local service produce the 400 (or, for a
+		// spec our lenient decode missed but the strict one accepts,
+		// serve it here — this node then owns the job).
+		rt.serveLocal(w, r, body)
+		return
+	}
+	rt.routeByKey(w, r, key, body, false)
+}
+
+// routeResult serves GET /v1/results/{key}. The key's owner is asked
+// first; on a 404 the live successors are tried too, because a result
+// computed during the owner's downtime was persisted by whichever
+// successor substituted.
+func (rt *Router) routeResult(w http.ResponseWriter, r *http.Request, key string) {
+	rt.routeByKey(w, r, key, nil, true)
+}
+
+// routeByKey walks key's ring order — owner first, then successors —
+// skipping peers marked down, and resolves the request at the first node
+// that answers. A transport failure marks the peer down and moves on; a
+// 404 moves on only in retryOn404 mode (result fetches). When every peer
+// is marked down the walk runs once more ignoring the marks, so health
+// staleness can delay a request but never fail one the cluster could
+// serve.
+func (rt *Router) routeByKey(w http.ResponseWriter, r *http.Request, key string, body []byte, retryOn404 bool) {
+	order := rt.ring.successors(key)
+	candidates := make([]int, 0, len(order))
+	for _, n := range order {
+		if n == rt.self || rt.peers[n].isAlive() {
+			candidates = append(candidates, n)
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = order // all marked down: try them anyway
+	}
+
+	var last404 *http.Response
+	defer func() {
+		if last404 != nil {
+			last404.Body.Close()
+		}
+	}()
+	for i, n := range candidates {
+		if n != order[0] {
+			// Resolving anywhere but the key's true owner is a retry,
+			// whether the owner failed a forward or was already marked down.
+			rt.retried.Add(1)
+		}
+		if n == rt.self {
+			if n == order[0] {
+				rt.ownerLocal.Add(1)
+			}
+			if retryOn404 {
+				// Peek locally; fall through to successors on a miss.
+				rec := newRecorder()
+				rt.serveLocal(rec, r, body)
+				if rec.status == http.StatusNotFound && i < len(candidates)-1 {
+					continue
+				}
+				rec.flushTo(w)
+				return
+			}
+			rt.serveLocal(w, r, body)
+			return
+		}
+		resp, err := rt.forward(r, rt.peers[n].addr, body)
+		if err != nil {
+			rt.peers[n].markDown(err)
+			continue
+		}
+		rt.forwarded.Add(1)
+		if retryOn404 && resp.StatusCode == http.StatusNotFound && i < len(candidates)-1 {
+			if last404 != nil {
+				last404.Body.Close()
+			}
+			last404 = resp // keep one 404 to relay if everyone misses
+			continue
+		}
+		relay(w, resp)
+		return
+	}
+	if last404 != nil {
+		relay(w, last404)
+		last404 = nil
+		return
+	}
+	writeJSON(w, http.StatusBadGateway, map[string]string{
+		"error": fmt.Sprintf("no live node for key %s: tried %s", key, rt.addrList(candidates)),
+	})
+}
+
+// routeJob resolves /v1/jobs/{id}... endpoints (status, cancel, stream,
+// figure) by the ID's node prefix. Job state lives only on the node that
+// accepted the job, so there is no successor to retry: an unreachable
+// home node is a diagnosable 502.
+func (rt *Router) routeJob(w http.ResponseWriter, r *http.Request, idPath string) {
+	id, _, _ := strings.Cut(idPath, "/")
+	home, ok := jobIDNode(id)
+	if !ok || home == rt.self || home >= len(rt.peers) {
+		rt.local.ServeHTTP(w, r)
+		return
+	}
+	resp, err := rt.forward(r, rt.peers[home].addr, nil)
+	if err != nil {
+		rt.peers[home].markDown(err)
+		writeJSON(w, http.StatusBadGateway, map[string]string{
+			"error": fmt.Sprintf("job %s lives on %s, which is unreachable: %v", id, rt.peers[home].addr, err),
+		})
+		return
+	}
+	rt.forwarded.Add(1)
+	relay(w, resp)
+}
+
+// serveLocal hands the request to the local service mux, restoring the
+// consumed body when the submit path read it for routing.
+func (rt *Router) serveLocal(w http.ResponseWriter, r *http.Request, body []byte) {
+	if body != nil {
+		r2 := r.Clone(r.Context())
+		r2.Body = io.NopCloser(bytes.NewReader(body))
+		r2.ContentLength = int64(len(body))
+		r = r2
+	}
+	rt.local.ServeHTTP(w, r)
+}
+
+// forward replays the request against addr and returns the peer's
+// response for the caller to relay or retry. The ring fingerprint header
+// makes the receiver serve it locally (or reject a mismatched ring).
+func (rt *Router) forward(r *http.Request, addr string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, "http://"+addr+r.URL.RequestURI(), rd)
+	if err != nil {
+		return nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	req.Header.Set(headerForwarded, rt.fp)
+	return rt.client.Do(req)
+}
+
+// relay streams a peer's response to the client, flushing after every
+// read so proxied NDJSON job streams stay live row-by-row.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (rt *Router) addrList(nodes []int) string {
+	addrs := make([]string, len(nodes))
+	for i, n := range nodes {
+		addrs[i] = rt.peers[n].addr
+	}
+	return strings.Join(addrs, ", ")
+}
+
+// Stats is the cluster section attached to /v1/stats.
+type Stats struct {
+	Self   string       `json:"self"`
+	Ring   string       `json:"ring"` // fingerprint; must match on every node
+	VNodes int          `json:"vnodes"`
+	Peers  []PeerStatus `json:"peers"`
+	// OwnerLocal counts key-routed requests this node owned and served
+	// itself; Forwarded counts requests proxied to another node; Retried
+	// counts attempts that fell through to a ring successor because a
+	// preferred node was down or unreachable.
+	OwnerLocal     int64 `json:"owner_local"`
+	Forwarded      int64 `json:"forwarded"`
+	Retried        int64 `json:"retried"`
+	RingMismatches int64 `json:"ring_mismatches"`
+	ProbeFailures  int64 `json:"probe_failures"`
+}
+
+// Stats snapshots the router counters and peer health.
+func (rt *Router) Stats() Stats {
+	st := Stats{
+		Self:           rt.selfAddr,
+		Ring:           rt.fp,
+		VNodes:         rt.vnodes,
+		Peers:          make([]PeerStatus, len(rt.peers)),
+		OwnerLocal:     rt.ownerLocal.Load(),
+		Forwarded:      rt.forwarded.Load(),
+		Retried:        rt.retried.Load(),
+		RingMismatches: rt.ringMismatches.Load(),
+		ProbeFailures:  rt.probeFailures.Load(),
+	}
+	for i, p := range rt.peers {
+		p.mu.Lock()
+		st.Peers[i] = PeerStatus{Addr: p.addr, Self: i == rt.self, Alive: p.alive, LastError: p.lastErr}
+		p.mu.Unlock()
+	}
+	return st
+}
+
+// handleStats wraps the local service stats with the cluster section.
+func (rt *Router) handleStats(w http.ResponseWriter) {
+	writeJSON(w, http.StatusOK, struct {
+		service.Stats
+		Cluster Stats `json:"cluster"`
+	}{rt.svc.Stats(), rt.Stats()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// recorder buffers a local response so routeByKey can peek at the status
+// before deciding to relay it or fall through to a successor. Only the
+// result-fetch path uses it, where responses are small JSON bodies.
+type recorder struct {
+	header http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func newRecorder() *recorder { return &recorder{header: make(http.Header), status: http.StatusOK} }
+
+func (rec *recorder) Header() http.Header         { return rec.header }
+func (rec *recorder) WriteHeader(status int)      { rec.status = status }
+func (rec *recorder) Write(p []byte) (int, error) { return rec.buf.Write(p) }
+
+func (rec *recorder) flushTo(w http.ResponseWriter) {
+	for k, vs := range rec.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(rec.status)
+	_, _ = w.Write(rec.buf.Bytes())
+}

@@ -94,6 +94,44 @@ func TestCacheKeyCanonicalization(t *testing.T) {
 	}
 }
 
+// TestCompileMemoization pins the compile-cache contract: equivalent
+// compile requests share one *compiled (compilation is pure, so the
+// pointer itself is the cache), requests that differ in any
+// artifact-affecting field do not, and FlowPoint — which only shapes the
+// compile *response* — is not part of the identity.
+func TestCompileMemoization(t *testing.T) {
+	req := CompileRequest{Source: "x' = -x*y\ny' = x*y\n"}
+	a, err := compilePipeline(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := compilePipeline(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical requests compiled twice")
+	}
+	flow := req
+	flow.FlowPoint = map[string]float64{"x": 0.5, "y": 0.5}
+	c, err := compilePipeline(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Fatal("FlowPoint split the compile cache")
+	}
+	other := req
+	other.FailureRate = 0.1
+	d, err := compilePipeline(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == a {
+		t.Fatal("different failure rate shared a compile result")
+	}
+}
+
 func TestSpecValidationErrors(t *testing.T) {
 	ok := JobSpec{Source: "x' = -x*y\ny' = x*y\n", N: 100, Periods: 10}
 	cases := []struct {

@@ -1,7 +1,9 @@
 package service
 
 import (
+	"encoding/json"
 	"fmt"
+	"sync"
 
 	"odeproto/internal/core"
 	"odeproto/internal/ode"
@@ -86,9 +88,63 @@ type compiled struct {
 	proto     *core.Protocol
 }
 
-// compilePipeline runs parse → classify → (rewrite) → translate. All
-// failures are input errors (the caller maps them to 400s).
+// compileCacheCap bounds the memoized compile results. Compilation is
+// pure, so the whole cache is dropped (rather than LRU-tracked) on
+// overflow; a working set larger than this is re-derivable.
+const compileCacheCap = 256
+
+var compileCache struct {
+	mu sync.Mutex
+	m  map[string]*compiled
+}
+
+// compileMemoKey is the canonical identity of a compile request. FlowPoint
+// is excluded: it only affects the compile *response* rendering, not the
+// compiled artifact.
+func compileMemoKey(req CompileRequest) (string, bool) {
+	req.FlowPoint = nil
+	b, err := json.Marshal(req) // map keys marshal sorted, so this is canonical
+	if err != nil {
+		return "", false
+	}
+	return string(b), true
+}
+
+// compilePipeline memoizes compilePipelineUncached. A *compiled is
+// immutable after construction and already shared between coalesced jobs,
+// so handing the same pointer to every equivalent request is safe. This
+// matters most in a cluster, where a routed submission compiles the spec
+// on the ingress node (to derive its routing key) and again on the owner.
 func compilePipeline(req CompileRequest) (*compiled, error) {
+	key, ok := compileMemoKey(req)
+	if !ok {
+		return compilePipelineUncached(req)
+	}
+	compileCache.mu.Lock()
+	c := compileCache.m[key]
+	compileCache.mu.Unlock()
+	if c != nil {
+		return c, nil
+	}
+	c, err := compilePipelineUncached(req)
+	if err != nil {
+		return nil, err
+	}
+	compileCache.mu.Lock()
+	if len(compileCache.m) >= compileCacheCap {
+		compileCache.m = nil
+	}
+	if compileCache.m == nil {
+		compileCache.m = make(map[string]*compiled)
+	}
+	compileCache.m[key] = c
+	compileCache.mu.Unlock()
+	return c, nil
+}
+
+// compilePipelineUncached runs parse → classify → (rewrite) → translate.
+// All failures are input errors (the caller maps them to 400s).
+func compilePipelineUncached(req CompileRequest) (*compiled, error) {
 	if req.Source == "" {
 		return nil, fmt.Errorf("missing source")
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"time"
 
 	"odeproto/internal/store"
@@ -185,7 +186,7 @@ func (s *Server) recoverJobs() []restartableJob {
 		close(job.done)
 		s.jobs[job.ID] = job
 		s.order = append(s.order, job.ID)
-		if n := idNumber(job.ID); n > maxID {
+		if n := s.idNumber(job.ID); n > maxID {
 			maxID = n
 		}
 	}
@@ -216,11 +217,19 @@ func (s *Server) resumeInterrupted(restartable []restartableJob) {
 	}
 }
 
-// idNumber extracts the numeric suffix of a job ID ("j000042" → 42) so
-// post-recovery IDs continue past the recovered ones.
-func idNumber(id string) int {
+// idNumber extracts the numeric suffix of a job ID ("j000042" → 42, or
+// "n1-j000042" → 42 under Config.JobIDPrefix "n1-") so post-recovery IDs
+// continue past the recovered ones. IDs journaled under a different
+// prefix (the node's cluster position changed across the restart) return
+// 0: they stay listed but cannot collide with newly issued IDs, which
+// carry the current prefix.
+func (s *Server) idNumber(id string) int {
+	rest, ok := strings.CutPrefix(id, s.cfg.JobIDPrefix)
+	if !ok {
+		return 0
+	}
 	var n int
-	if _, err := fmt.Sscanf(id, "j%d", &n); err != nil {
+	if _, err := fmt.Sscanf(rest, "j%d", &n); err != nil {
 		return 0
 	}
 	return n

@@ -77,6 +77,13 @@ type Config struct {
 	// instead of leaving the retry to the client. The interrupted job
 	// still reports failed, with its error naming the resubmission.
 	ResumeInterrupted bool
+	// JobIDPrefix is prepended to every generated job ID ("n1-" turns
+	// j000042 into n1-j000042). A cluster front-end (internal/cluster)
+	// gives each node a distinct prefix so any node can route a job ID
+	// back to the node that owns the job; standalone daemons leave it
+	// empty and keep the historical format. Recovery strips the same
+	// prefix when continuing the ID sequence past recovered jobs.
+	JobIDPrefix string
 }
 
 func (c Config) withDefaults() Config {
@@ -279,7 +286,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		}
 	}
 	s.nextID++
-	job.ID = fmt.Sprintf("j%06d", s.nextID)
+	job.ID = fmt.Sprintf("%sj%06d", s.cfg.JobIDPrefix, s.nextID)
 	select {
 	case s.queue <- job:
 	default:
@@ -313,9 +320,23 @@ func (s *Server) register(job *Job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
-	job.ID = fmt.Sprintf("j%06d", s.nextID)
+	job.ID = fmt.Sprintf("%sj%06d", s.cfg.JobIDPrefix, s.nextID)
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
+}
+
+// RouteKey computes the content address Submit would file spec under —
+// the same normalize-and-hash pipeline, without enqueueing anything. A
+// cluster front-end shards on this key: the routing decision and the
+// cache key must be the same hash, or two nodes could each run the same
+// sweep. Validation failures come back as the 400-mapped error Submit
+// would return.
+func (s *Server) RouteKey(spec JobSpec) (string, error) {
+	comp, err := spec.normalize(s.cfg.Limits)
+	if err != nil {
+		return "", &inputError{err}
+	}
+	return spec.cacheKey(comp), nil
 }
 
 // Stats is the body of GET /v1/stats.

@@ -131,7 +131,9 @@ type compiledAction struct {
 // must sum to N.
 func New(cfg Config) (*Engine, error) {
 	if cfg.N <= 1 {
-		return nil, fmt.Errorf("sim: group size %d too small", cfg.N)
+		// N = 1 would make pickPeer's rng.Intn(N-1) panic: every contact
+		// action needs at least one peer other than self to sample.
+		return nil, fmt.Errorf("sim: group size %d too small (peer sampling needs N >= 2)", cfg.N)
 	}
 	if cfg.Protocol == nil {
 		return nil, fmt.Errorf("sim: nil protocol")
@@ -296,7 +298,10 @@ func (e *Engine) ProcessesIn(s ode.Var) []int {
 	if !ok {
 		return nil
 	}
-	var out []int
+	if e.counts[si] == 0 {
+		return nil
+	}
+	out := make([]int, 0, e.counts[si])
 	for p, st := range e.state {
 		if int(st) == si {
 			out = append(out, p)

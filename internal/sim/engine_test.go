@@ -54,6 +54,27 @@ func TestNewValidation(t *testing.T) {
 	}
 }
 
+// TestSingleProcessGroupRejected pins the N < 2 rejection: pickPeer draws
+// rng.Intn(N-1), which panics at N = 1, so New must refuse the config with
+// a clear error instead of handing back an engine that panics on Step.
+func TestSingleProcessGroupRejected(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("New(N=1) panicked: %v", r)
+		}
+	}()
+	for _, n := range []int{0, 1} {
+		e, err := New(Config{N: n, Protocol: epidemicProto(t), Initial: map[ode.Var]int{"x": n}})
+		if err == nil {
+			e.Step() // would panic in pickPeer if New let N=1 through
+			t.Fatalf("New accepted group size %d", n)
+		}
+		if n == 1 && err.Error() != "sim: group size 1 too small (peer sampling needs N >= 2)" {
+			t.Fatalf("unhelpful rejection: %v", err)
+		}
+	}
+}
+
 func TestInitialLayout(t *testing.T) {
 	e, err := New(Config{
 		N:        100,

@@ -97,11 +97,15 @@ type Stats struct {
 	RecordsAppended int64  `json:"records_appended"`
 	WALSegments     int    `json:"wal_segments"`
 	WALBytes        int64  `json:"wal_bytes"`
-	ResultsWritten  int64  `json:"results_written"`
-	ResultBytes     int64  `json:"result_bytes"`
-	RecoveredJobs   int    `json:"recovered_jobs"`
-	TailTruncations int64  `json:"tail_truncations"`
-	Compactions     int64  `json:"compactions"`
+	// WALSyncs counts append-path fsyncs. Without group commit it tracks
+	// RecordsAppended one-for-one; with it, one sync covers a batch, and
+	// the gap between the two counters is the coalescing win.
+	WALSyncs        int64 `json:"wal_syncs"`
+	ResultsWritten  int64 `json:"results_written"`
+	ResultBytes     int64 `json:"result_bytes"`
+	RecoveredJobs   int   `json:"recovered_jobs"`
+	TailTruncations int64 `json:"tail_truncations"`
+	Compactions     int64 `json:"compactions"`
 }
 
 // ErrNotFound reports a result key with no stored blob.

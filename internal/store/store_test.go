@@ -7,7 +7,9 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 )
 
 func mustOpen(t *testing.T, dir string, opts Options) *FileStore {
@@ -399,5 +401,89 @@ func TestAppendValidation(t *testing.T) {
 	}
 	if err := s.Append(JobRecord{Op: "resubmitted", ID: "j000001"}); err == nil {
 		t.Fatal("record with an unknown op accepted")
+	}
+}
+
+// TestGroupCommitConcurrentAppends drives many goroutines through the
+// group-commit append path and verifies every record is durable (all
+// replay after reopen) while the fsync count stays below one-per-append —
+// the coalescing the mode exists for.
+func TestGroupCommitConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{GroupCommit: true, GroupCommitWait: 500 * time.Microsecond})
+	const (
+		writers = 8
+		each    = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*each)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				id := fmt.Sprintf("j%03d%03d", w, i)
+				if err := s.Append(JobRecord{Op: OpSubmitted, ID: id, Key: "abcd", SubmittedAt: 1}); err != nil {
+					errs <- fmt.Errorf("append %s: %w", id, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.RecordsAppended != writers*each {
+		t.Fatalf("records appended = %d, want %d", st.RecordsAppended, writers*each)
+	}
+	if st.WALSyncs >= st.RecordsAppended {
+		t.Fatalf("group commit never coalesced: %d fsyncs for %d appends", st.WALSyncs, st.RecordsAppended)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if got := len(s2.Recovered()); got != writers*each {
+		t.Fatalf("recovered %d jobs after group-commit appends, want %d", got, writers*each)
+	}
+}
+
+// TestGroupCommitSerialAppendDurable pins the solo-appender contract: with
+// no concurrency to coalesce, each group-commit Append still returns only
+// after its own record is fsync'd, and rotation keeps working.
+func TestGroupCommitSerialAppendDurable(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{GroupCommit: true, SegmentBytes: 256})
+	for _, rec := range lifecycle("j000001", "aaaa") {
+		if err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Append(JobRecord{Op: OpSubmitted, ID: fmt.Sprintf("j%06d", i+2), Spec: json.RawMessage(`{"n":400,"periods":25}`)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.WALSegments < 2 {
+		t.Fatalf("expected rotation under group commit, got %d segments", st.WALSegments)
+	}
+	if st.WALSyncs < 1 {
+		t.Fatalf("no fsyncs recorded: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if got := len(s2.Recovered()); got != 11 {
+		t.Fatalf("recovered %d jobs, want 11", got)
+	}
+	if j := s2.Recovered()[0]; j.Status != OpDone {
+		t.Fatalf("j000001 recovered as %s, want done", j.Status)
 	}
 }

@@ -35,6 +35,12 @@ type wal struct {
 	segments    int   // segment files on disk
 	totalBytes  int64 // live bytes across all segments
 	truncations int64
+
+	// writeGen numbers appends; syncs counts append-path fsyncs. With
+	// group commit the two diverge: one fsync covers a whole batch of
+	// generations. Both are guarded by the owning store's mutex.
+	writeGen int64
+	syncs    int64
 }
 
 func segName(index int) string { return fmt.Sprintf("%08d.wal", index) }
@@ -169,28 +175,54 @@ func (w *wal) rotate(index int) error {
 // append frames, writes, and fsyncs one record, rotating first when the
 // open segment would exceed the size bound.
 func (w *wal) append(rec JobRecord) error {
+	if _, err := w.appendNoSync(rec); err != nil {
+		return err
+	}
+	return w.syncOpenSegment()
+}
+
+// appendNoSync frames and writes one record without forcing it to disk,
+// rotating first when the open segment would exceed the size bound. It
+// returns the record's write generation — the value syncOpenSegment must
+// cover before the record counts as durable. Rotation is safe to elide
+// from the sync contract: rotate fsyncs the old segment before closing
+// it, so every generation living in a closed segment is already durable.
+func (w *wal) appendNoSync(rec JobRecord) (int64, error) {
 	if w.f == nil {
 		// A failed compact/rotate left no open segment; fail the append
 		// instead of panicking (the service journals best-effort).
-		return fmt.Errorf("wal: no open segment (a previous compaction or rotation failed)")
+		return 0, fmt.Errorf("wal: no open segment (a previous compaction or rotation failed)")
 	}
 	buf, err := frame(rec)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if w.size > 0 && w.size+int64(len(buf)) > w.segBytes {
 		if err := w.rotate(w.segIndex + 1); err != nil {
-			return err
+			return 0, err
 		}
 	}
 	if _, err := w.f.Write(buf); err != nil {
-		return err
+		return 0, err
+	}
+	w.size += int64(len(buf))
+	w.totalBytes += int64(len(buf))
+	w.writeGen++
+	return w.writeGen, nil
+}
+
+// syncOpenSegment fsyncs the open segment, making every written record
+// durable. A nil open segment is not an error here: the only paths that
+// clear w.f (close, a failed rotation) sync the file first, so everything
+// appendNoSync wrote is already on disk.
+func (w *wal) syncOpenSegment() error {
+	if w.f == nil {
+		return nil
 	}
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
-	w.size += int64(len(buf))
-	w.totalBytes += int64(len(buf))
+	w.syncs++
 	return nil
 }
 
