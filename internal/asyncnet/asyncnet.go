@@ -31,6 +31,7 @@ package asyncnet
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"odeproto/internal/core"
@@ -423,11 +424,19 @@ func (cfg *Config) validate() (states []ode.Var, actions [][]*compiled, initial 
 	}
 
 	total := 0
-	for s, c := range cfg.Initial {
+	// Validate in sorted-key order so which bad entry the error names is
+	// deterministic, not map-iteration-ordered.
+	initialStates := make([]string, 0, len(cfg.Initial))
+	for s := range cfg.Initial {
+		initialStates = append(initialStates, string(s))
+	}
+	sort.Strings(initialStates)
+	for _, name := range initialStates {
+		s := ode.Var(name)
 		if _, ok := stateIdx[s]; !ok {
 			return nil, nil, nil, fmt.Errorf("asyncnet: initial state %q not in protocol", s)
 		}
-		total += c
+		total += cfg.Initial[s]
 	}
 	if total != cfg.N {
 		return nil, nil, nil, fmt.Errorf("asyncnet: initial counts sum to %d, want %d", total, cfg.N)

@@ -213,3 +213,18 @@ z' = -3*x*z - 3*y*z + 3*x*y + 3*x*y
 		t.Fatalf("minority population still large: %v", res.Counts)
 	}
 }
+
+// TestValidationErrorDeterministic pins that config validation iterates
+// Initial in sorted-key order: with several unknown states, the error
+// always names the lexicographically first one instead of whichever map
+// iteration surfaces first.
+func TestValidationErrorDeterministic(t *testing.T) {
+	proto := mustTranslate(t, "x' = -x*y\ny' = x*y", core.Options{})
+	want := `asyncnet: initial state "q" not in protocol`
+	for i := 0; i < 50; i++ {
+		cfg := Config{N: 10, Protocol: proto, Periods: 1, Initial: map[ode.Var]int{"x": 8, "w": 1, "q": 1}}
+		if _, err := Run(cfg); err == nil || err.Error() != want {
+			t.Fatalf("run %d: err = %v, want %q", i, err, want)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// expectation is one `// want "regexp"` comment in a fixture file: the
+// line it sits on must produce a diagnostic matching the pattern.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// wantRE extracts the quoted pattern from a want comment. Both plain
+// (`// want "..."`) and backquoted (// want `...`) forms are accepted.
+var wantRE = regexp.MustCompile("//\\s*want\\s+(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+// CheckFixture loads the fixture package under dir, presents it to the
+// analyzer as importPath, and verifies the diagnostics against the
+// fixture's `// want` comments: every want must be matched by a
+// diagnostic on its line, and every diagnostic must be wanted. It is the
+// in-house analogue of golang.org/x/tools/go/analysis/analysistest.
+// Files without want comments double as negative fixtures — the allowed
+// idioms that must stay clean.
+func CheckFixture(a *Analyzer, dir, importPath string) []error {
+	pkg, err := LoadFixture(dir, importPath)
+	if err != nil {
+		return []error{err}
+	}
+	diags, err := RunAnalyzers(pkg, []*Analyzer{a})
+	if err != nil {
+		return []error{err}
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat := m[1]
+				if pat == "" {
+					pat = m[2]
+				} else {
+					pat = strings.ReplaceAll(pat, `\"`, `"`)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return []error{fmt.Errorf("%s: bad want pattern %q: %v", pkg.Fset.Position(c.Pos()), pat, err)}
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+			}
+		}
+	}
+	// A want comment may sit at the end of the flagged line; directives on
+	// their own line apply to the following line, mirroring lint:ignore.
+	lineHasCode := map[[2]any]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			switch n.(type) {
+			case *ast.File:
+				return true
+			case *ast.Comment, *ast.CommentGroup:
+				return false // a want on its own line is not code
+			}
+			pos := pkg.Fset.Position(n.Pos())
+			lineHasCode[[2]any{pos.Filename, pos.Line}] = true
+			return true
+		})
+	}
+
+	var errs []error
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file != d.Pos.Filename {
+				continue
+			}
+			target := w.line
+			if !lineHasCode[[2]any{w.file, w.line}] {
+				target = w.line + 1 // want on its own line covers the next line
+			}
+			if target == d.Pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			errs = append(errs, fmt.Errorf("unexpected diagnostic:\n  %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			errs = append(errs, fmt.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.pattern))
+		}
+	}
+	return errs
+}
+
+var _ = token.NoPos

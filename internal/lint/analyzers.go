@@ -1,0 +1,53 @@
+package lint
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerDeterminism,
+		AnalyzerFsyncorder,
+		AnalyzerClosecheck,
+		AnalyzerCachekey,
+		AnalyzerNoblocklock,
+	}
+}
+
+// ByName resolves a comma-separated analyzer name list ("" → all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range splitComma(names) {
+		a, ok := byName[name]
+		if !ok {
+			return nil, &UnknownAnalyzerError{Name: name}
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// UnknownAnalyzerError names an analyzer that does not exist.
+type UnknownAnalyzerError struct{ Name string }
+
+func (e *UnknownAnalyzerError) Error() string {
+	return "unknown analyzer " + e.Name + " (have determinism, fsyncorder, closecheck, cachekey, noblocklock)"
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

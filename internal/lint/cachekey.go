@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// cachekeySpecType is the spec struct whose every exported field must
+// reach the cache key, and cachekeySerializers are the functions allowed
+// to consume them: cacheKey hashes the output-shaping knobs directly, and
+// compileRequest feeds the compile prefix (Source, Params, ...) into the
+// canonical parsed system that cacheKey hashes as the System field.
+const cachekeySpecType = "JobSpec"
+
+var cachekeySerializers = map[string]bool{
+	"cacheKey":       true,
+	"compileRequest": true,
+}
+
+// AnalyzerCachekey enforces the cache-key completeness contract: every
+// exported field of service.JobSpec must be consumed by the canonical
+// cache-key serializer. The content-addressed result store — local LRU,
+// durable blobs, and the cluster ring that routes by the same hash — is
+// only sound if the key captures everything that shapes a job's output;
+// an exported spec knob the serializer never reads would alias two
+// distinct jobs to one SHA-256 key and poison every cache layer at once.
+var AnalyzerCachekey = &Analyzer{
+	Name: "cachekey",
+	Doc: `every exported JobSpec field must reach the cache-key serializer
+
+Applies to any package declaring a JobSpec struct with a cacheKey
+method. Each exported field must be read (as a selector on the spec) by
+cacheKey or compileRequest; a field neither consumes is reported at its
+declaration. A field that genuinely must not affect the key (none exist
+today) would carry a //lint:ignore cachekey with its justification.`,
+	Run: runCachekey,
+}
+
+func runCachekey(pass *Pass) error {
+	spec, structType := findSpecStruct(pass)
+	if spec == nil {
+		return nil // packages without a JobSpec are out of scope
+	}
+
+	consumed := map[string]bool{}
+	foundSerializer := false
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			if !cachekeySerializers[fd.Name.Name] || !recvIsType(pass, fd, spec) {
+				continue
+			}
+			foundSerializer = true
+			collectSpecFieldReads(pass, fd, spec, consumed)
+		}
+	}
+
+	// Locate field declaration positions for reporting.
+	fieldPos := map[string]ast.Node{}
+	var fieldOrder []string
+	for i := 0; i < structType.NumFields(); i++ {
+		fv := structType.Field(i)
+		if fv.Exported() {
+			fieldOrder = append(fieldOrder, fv.Name())
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != cachekeySpecType {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					fieldPos[name.Name] = name
+				}
+			}
+			return false
+		})
+	}
+
+	if !foundSerializer {
+		if n, ok := fieldPos[firstOr(fieldOrder, "")]; ok {
+			pass.Reportf(n.Pos(), "%s declares no cache-key serializer (%s): the content-addressed store cannot be sound without one", cachekeySpecType, serializerNames())
+		}
+		return nil
+	}
+
+	for _, name := range fieldOrder {
+		if consumed[name] {
+			continue
+		}
+		pos := spec.Pos()
+		if n, ok := fieldPos[name]; ok {
+			pos = n.Pos()
+		}
+		pass.Reportf(pos, "%s.%s is not consumed by the cache-key serializer (%s): two specs differing only in %s would alias to one cache key and poison the content-addressed store", cachekeySpecType, name, serializerNames(), name)
+	}
+	return nil
+}
+
+// findSpecStruct locates the package's JobSpec struct type.
+func findSpecStruct(pass *Pass) (*types.TypeName, *types.Struct) {
+	obj := pass.Pkg.Scope().Lookup(cachekeySpecType)
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil, nil
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	return tn, st
+}
+
+// recvIsType reports whether fd's receiver is tn (or a pointer to it).
+func recvIsType(pass *Pass, fd *ast.FuncDecl, tn *types.TypeName) bool {
+	if len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && pass.Info.Uses[id] == tn
+}
+
+// collectSpecFieldReads records every field of the spec type read via a
+// selector anywhere in fd's body.
+func collectSpecFieldReads(pass *Pass, fd *ast.FuncDecl, tn *types.TypeName, consumed map[string]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		recv := selection.Recv()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok || named.Obj() != tn {
+			return true
+		}
+		consumed[sel.Sel.Name] = true
+		return true
+	})
+}
+
+func serializerNames() string {
+	names := make([]string, 0, len(cachekeySerializers))
+	for n := range cachekeySerializers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "/")
+}
+
+func firstOr(s []string, def string) string {
+	if len(s) > 0 {
+		return s[0]
+	}
+	return def
+}

@@ -1,0 +1,15 @@
+package lint
+
+import "testing"
+
+func TestCachekeyFixtureBad(t *testing.T) {
+	runFixture(t, AnalyzerCachekey, "cachekey/bad", "odeproto/internal/service")
+}
+
+func TestCachekeyFixtureGood(t *testing.T) {
+	runFixture(t, AnalyzerCachekey, "cachekey/good", "odeproto/internal/service")
+}
+
+func TestCachekeyFixtureNoSerializer(t *testing.T) {
+	runFixture(t, AnalyzerCachekey, "cachekey/noserializer", "odeproto/internal/service")
+}

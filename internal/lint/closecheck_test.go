@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestClosecheckFixture(t *testing.T) {
+	runFixture(t, AnalyzerClosecheck, "closecheck", "odeproto/internal/service")
+}

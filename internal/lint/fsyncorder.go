@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// fsyncorderPaths are the packages that own the durability ordering: the
+// WAL/blob store itself and the service layer that journals against it.
+var fsyncorderPaths = []string{
+	"odeproto/internal/store",
+	"odeproto/internal/service",
+}
+
+// AnalyzerFsyncorder enforces the crash-safety ordering contracts:
+//
+//  1. within a function, file writes must not reach an os.Rename without
+//     an intervening Sync — rename-into-place publishes the file's name,
+//     and a crash after the rename but before the data hits disk leaves a
+//     durable name pointing at torn contents;
+//  2. a function that both persists a result blob (PutResult/persistResult)
+//     and journals that job's uncached "done" record must persist first —
+//     the WAL must never claim a result the disk does not hold. Done
+//     records marked Cached: true are exempt: they describe a blob that
+//     was already durable before this job existed.
+//
+// The scan is ordered by source position within one function body, not by
+// control flow; the rare branch shape it misjudges documents itself with
+// a //lint:ignore and a reason.
+var AnalyzerFsyncorder = &Analyzer{
+	Name: "fsyncorder",
+	Doc: `enforce Sync-before-rename and blob-before-done-record ordering
+
+In the durability-owning packages, flags (1) os.Rename calls that a file
+write can reach with no Sync in between, and (2) journal appends of a
+job's uncached done record positioned before the corresponding result
+blob write (PutResult) in the same function.`,
+	Run: runFsyncorder,
+}
+
+// fsyncEventKind classifies the calls the ordering rules relate.
+type fsyncEventKind int
+
+const (
+	evWrite fsyncEventKind = iota
+	evSync
+	evRename
+	evPutResult
+	evDoneRecord
+)
+
+type fsyncEvent struct {
+	kind fsyncEventKind
+	pos  token.Pos
+}
+
+func runFsyncorder(pass *Pass) error {
+	if !inScope(pass.Path, fsyncorderPaths) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFsyncOrder(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFsyncOrder(pass *Pass, fd *ast.FuncDecl) {
+	var events []fsyncEvent
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if kind, ok := classifyFsyncCall(pass, call); ok {
+			events = append(events, fsyncEvent{kind: kind, pos: call.Pos()})
+		}
+		return true
+	})
+
+	// Rule 1: every rename must have a Sync between it and the last
+	// preceding write.
+	for i, ev := range events {
+		if ev.kind != evRename {
+			continue
+		}
+		// Find the nearest earlier write or Sync; a write wins → violation.
+		sawWrite := false
+		for j := i - 1; j >= 0; j-- {
+			if events[j].kind == evSync {
+				break
+			}
+			if events[j].kind == evWrite {
+				sawWrite = true
+				break
+			}
+		}
+		if sawWrite {
+			pass.Reportf(ev.pos, "os.Rename reachable from a file write with no intervening Sync in %s: a crash after the rename can publish a name whose contents never became durable; Sync the file before renaming it into place", funcName(fd))
+		}
+	}
+
+	// Rule 2: an uncached done record must follow the blob write.
+	var firstPut token.Pos = token.NoPos
+	for _, ev := range events {
+		if ev.kind == evPutResult {
+			firstPut = ev.pos
+			break
+		}
+	}
+	if firstPut == token.NoPos {
+		return
+	}
+	for _, ev := range events {
+		if ev.kind == evDoneRecord && ev.pos < firstPut {
+			pass.Reportf(ev.pos, "done record journaled before the result blob is durably written in %s: on replay the WAL would claim a result the disk does not hold; call PutResult first (cache-hit records carry Cached: true and are exempt)", funcName(fd))
+		}
+	}
+}
+
+// classifyFsyncCall maps one call to the event kinds the ordering rules
+// relate, or reports false for irrelevant calls.
+func classifyFsyncCall(pass *Pass, call *ast.CallExpr) (fsyncEventKind, bool) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return 0, false
+	}
+	// os.Rename.
+	if isPkgFunc(fn, "os", "Rename") {
+		return evRename, true
+	}
+	// io.Copy / fmt.Fprint* with an *os.File destination count as writes.
+	if isPkgFunc(fn, "io", "Copy") || isPkgFunc(fn, "io", "CopyBuffer") ||
+		isPkgFunc(fn, "fmt", "Fprint") || isPkgFunc(fn, "fmt", "Fprintf") || isPkgFunc(fn, "fmt", "Fprintln") {
+		if len(call.Args) > 0 && exprTypeIs(pass.Info, call.Args[0], "os", "File") {
+			return evWrite, true
+		}
+		return 0, false
+	}
+	pkgPath, typeName := recvNamed(fn)
+	if pkgPath == "os" && typeName == "File" {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteAt", "ReadFrom":
+			return evWrite, true
+		case "Sync":
+			return evSync, true
+		}
+		return 0, false
+	}
+	// A journal/Append call whose record literal carries an OpDone (or
+	// "done") op is a done-record append; Cached: true exempts it.
+	if fn.Name() == "Append" || fn.Name() == "journal" || fn.Name() == "appendNoSync" {
+		if doneRecordArg(call) {
+			return evDoneRecord, true
+		}
+		return 0, false
+	}
+	if fn.Name() == "PutResult" || fn.Name() == "persistResult" {
+		return evPutResult, true
+	}
+	return 0, false
+}
+
+// doneRecordArg inspects a journal-style call's arguments for a composite
+// literal with Op set to a "done" op and no Cached: true field.
+func doneRecordArg(call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		lit, ok := ast.Unparen(arg).(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		isDone, isCached := false, false
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			switch key.Name {
+			case "Op":
+				if name := selectorOrIdentName(kv.Value); name == "OpDone" {
+					isDone = true
+				} else if lit, ok := kv.Value.(*ast.BasicLit); ok && lit.Value == `"done"` {
+					isDone = true
+				}
+			case "Cached":
+				if id, ok := ast.Unparen(kv.Value).(*ast.Ident); ok && id.Name == "true" {
+					isCached = true
+				}
+			}
+		}
+		if isDone && !isCached {
+			return true
+		}
+	}
+	return false
+}
+
+// selectorOrIdentName returns the terminal name of an identifier or
+// selector expression ("store.OpDone" → "OpDone").
+func selectorOrIdentName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestFsyncorderFixture(t *testing.T) {
+	runFixture(t, AnalyzerFsyncorder, "fsyncorder", "odeproto/internal/store")
+}

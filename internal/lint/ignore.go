@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces an escape-hatch directive:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the flagged line or on the line immediately above it. The
+// reason is mandatory — the directive exists to document why a contract
+// is deliberately waived at one site, and a bare waiver is rejected as a
+// diagnostic of its own (there is no way to silence the suite silently).
+const ignorePrefix = "//lint:ignore"
+
+// directive is one parsed, well-formed ignore comment.
+type directive struct {
+	file      string
+	line      int
+	analyzers []string
+}
+
+// collectDirectives scans the files' comments for ignore directives,
+// returning the well-formed ones plus a diagnostic for every malformed
+// one (missing analyzer name or missing reason).
+func collectDirectives(fset *token.FileSet, files []*ast.File) ([]directive, []Diagnostic) {
+	var dirs []directive
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:ignored — not this directive
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer> <reason>\" — un-reasoned ignores are rejected",
+					})
+					continue
+				}
+				dirs = append(dirs, directive{
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzers: strings.Split(fields[0], ","),
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// suppressed reports whether a directive covers the diagnostic: same file,
+// matching analyzer name, on the diagnostic's line or the line above it.
+func suppressed(d Diagnostic, dirs []directive) bool {
+	for _, dir := range dirs {
+		if dir.file != d.Pos.Filename {
+			continue
+		}
+		if dir.line != d.Pos.Line && dir.line != d.Pos.Line-1 {
+			continue
+		}
+		for _, a := range dir.analyzers {
+			if a == d.Analyzer || a == "*" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestIgnoreDirectives pins the escape hatch's two halves: a directive
+// with a reason suppresses the finding on the following line, and a
+// directive without a reason is rejected — it becomes a diagnostic of
+// its own and suppresses nothing.
+func TestIgnoreDirectives(t *testing.T) {
+	pkg, err := LoadFixture(filepath.Join("testdata", "src", "ignore"), "odeproto/internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers(pkg, []*Analyzer{AnalyzerDeterminism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var malformed, surviving []Diagnostic
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "lint":
+			malformed = append(malformed, d)
+		case "determinism":
+			surviving = append(surviving, d)
+		default:
+			t.Errorf("unexpected analyzer %q: %s", d.Analyzer, d)
+		}
+	}
+	if len(malformed) != 1 {
+		t.Fatalf("got %d malformed-directive diagnostics, want 1: %v", len(malformed), diags)
+	}
+	if !strings.Contains(malformed[0].Message, "un-reasoned ignores are rejected") {
+		t.Errorf("malformed-directive message = %q", malformed[0].Message)
+	}
+	// Only bareIgnore's finding survives; wallLabel's reasoned directive
+	// suppressed the other time.Now.
+	if len(surviving) != 1 {
+		t.Fatalf("got %d surviving determinism findings, want 1: %v", len(surviving), diags)
+	}
+	if !strings.Contains(surviving[0].Message, "time.Now") {
+		t.Errorf("surviving finding = %q", surviving[0].Message)
+	}
+	// The un-reasoned directive sits on the line above its target — the
+	// suppression geometry matched, only the missing reason voided it.
+	if got, want := surviving[0].Pos.Line, malformed[0].Pos.Line+1; got != want {
+		t.Errorf("surviving finding at line %d, want %d (directly below the bare directive)", got, want)
+	}
+}

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+)
+
+// noblocklockPaths are the request-serving packages where a mutex held
+// across blocking I/O turns one slow disk or peer into a convoy that
+// stalls every handler behind the lock.
+var noblocklockPaths = []string{
+	"odeproto/internal/service",
+	"odeproto/internal/cluster",
+}
+
+// AnalyzerNoblocklock forbids blocking operations while holding a mutex
+// in the request-serving packages:
+//
+//   - channel sends and receives, unless inside a select with a default
+//     case (the bounded-queue try-send idiom in Submit is the canonical
+//     allowed form);
+//   - calls into net, net/http, time.Sleep, file/disk I/O (os file ops,
+//     io.Copy, io.ReadAll), and the durable store (odeproto/internal/
+//     store methods: Append fsyncs, PutResult writes and renames).
+//
+// A critical section runs from a Lock/RLock statement to the matching
+// Unlock/RUnlock in the same block, or — after the lock-then-defer idiom
+// `mu.Lock(); defer mu.Unlock()` — to the end of that block. Function
+// literals inside the section are not analyzed (a spawned goroutine does
+// not hold the caller's lock); the store package itself is exempt, where
+// holding the store mutex across the WAL fsync is the documented design.
+var AnalyzerNoblocklock = &Analyzer{
+	Name: "noblocklock",
+	Doc: `no blocking I/O or channel operations while holding a mutex
+
+In the request-serving packages, flags network/disk I/O, store calls,
+time.Sleep, and channel sends/receives (outside select-with-default)
+between a Lock and its Unlock. Do the I/O first, then take the lock to
+publish the outcome — the pattern Submit and stats() already follow.`,
+	Run: runNoblocklock,
+}
+
+func runNoblocklock(pass *Pass) error {
+	if !inScope(pass.Path, noblocklockPaths) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if block, ok := n.(*ast.BlockStmt); ok {
+					checkBlockForLockedIO(pass, block)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkBlockForLockedIO scans one statement list for critical sections
+// and flags blocking operations inside them.
+func checkBlockForLockedIO(pass *Pass, block *ast.BlockStmt) {
+	for i := 0; i < len(block.List); i++ {
+		recv, ok := lockCall(pass, block.List[i], "Lock", "RLock")
+		if !ok {
+			continue
+		}
+		// Deferred unlock directly after the Lock extends the section to
+		// the end of the block.
+		end := len(block.List)
+		deferred := false
+		if i+1 < len(block.List) {
+			if ds, ok := block.List[i+1].(*ast.DeferStmt); ok {
+				if r, ok := callRecvName(pass, ds.Call, "Unlock", "RUnlock"); ok && r == recv {
+					deferred = true
+				}
+			}
+		}
+		if !deferred {
+			for j := i + 1; j < len(block.List); j++ {
+				if r, ok := lockCall(pass, block.List[j], "Unlock", "RUnlock"); ok && r == recv {
+					end = j
+					break
+				}
+			}
+		}
+		start := i + 1
+		if deferred {
+			start = i + 2
+		}
+		for j := start; j < end; j++ {
+			flagBlockingOps(pass, block.List[j], recv)
+		}
+		if !deferred && end < len(block.List) {
+			i = end
+		}
+	}
+}
+
+// lockCall matches a statement of the form `<expr>.Lock()` (or the given
+// method names) on a sync mutex and returns the receiver's printed form.
+func lockCall(pass *Pass, stmt ast.Stmt, names ...string) (string, bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	return callRecvName(pass, call, names...)
+}
+
+// callRecvName matches a call to one of the named sync.Mutex/RWMutex
+// methods and returns the receiver expression's printed form.
+func callRecvName(pass *Pass, call *ast.CallExpr, names ...string) (string, bool) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return "", false
+	}
+	match := false
+	for _, n := range names {
+		if fn.Name() == n {
+			match = true
+		}
+	}
+	if !match {
+		return "", false
+	}
+	pkgPath, typeName := recvNamed(fn)
+	if pkgPath != "sync" || (typeName != "Mutex" && typeName != "RWMutex") {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	return exprString(pass.Fset, sel.X), true
+}
+
+// flagBlockingOps reports blocking operations within one statement of a
+// critical section.
+func flagBlockingOps(pass *Pass, stmt ast.Stmt, lockRecv string) {
+	var inDefaultSelect func(n ast.Node) bool
+	selectsWithDefault := map[*ast.SelectStmt]bool{}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, c := range sel.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					selectsWithDefault[sel] = true
+				}
+			}
+		}
+		return true
+	})
+	var stack []ast.Node
+	inDefaultSelect = func(n ast.Node) bool {
+		for i := len(stack) - 1; i >= 0; i-- {
+			if sel, ok := stack[i].(*ast.SelectStmt); ok {
+				return selectsWithDefault[sel]
+			}
+		}
+		return false
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a literal's body runs outside this lock hold
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !inDefaultSelect(n) {
+				pass.Reportf(n.Pos(), "channel send while holding %s.Lock(): a full channel blocks every path contending for the lock; use a select with default (try-send) or send after unlocking", lockRecv)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !inDefaultSelect(n) {
+				pass.Reportf(n.Pos(), "channel receive while holding %s.Lock(): an empty channel blocks every path contending for the lock; receive after unlocking or use a select with default", lockRecv)
+			}
+		case *ast.CallExpr:
+			if msg := blockingCallMessage(pass, n); msg != "" {
+				pass.Reportf(n.Pos(), "%s while holding %s.Lock(): do the I/O first, then lock to publish the outcome", msg, lockRecv)
+			}
+		}
+		return true
+	})
+}
+
+// blockingCallMessage classifies calls that can block on the network, the
+// disk, or a timer; it returns "" for calls that are safe under a lock.
+func blockingCallMessage(pass *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	pkg := fn.Pkg().Path()
+	recvPkg, recvType := recvNamed(fn)
+	switch {
+	case pkg == "time" && fn.Name() == "Sleep":
+		return "time.Sleep"
+	case pkg == "net/http" || recvPkg == "net/http":
+		return "net/http call (" + fn.Name() + ")"
+	case pkg == "net" || recvPkg == "net":
+		return "network call (net." + fn.Name() + ")"
+	case recvPkg == "os" && recvType == "File":
+		return "file I/O ((*os.File)." + fn.Name() + ")"
+	case pkg == "os" && blockingOSFunc(fn.Name()):
+		return "file I/O (os." + fn.Name() + ")"
+	case pkg == "io" && (fn.Name() == "Copy" || fn.Name() == "CopyBuffer" || fn.Name() == "ReadAll"):
+		return "io." + fn.Name()
+	case recvPkg == "odeproto/internal/store" || pkg == "odeproto/internal/store":
+		return "durable-store call (store." + recvType + "." + fn.Name() + " fsyncs or hits disk)"
+	}
+	return ""
+}
+
+// blockingOSFunc lists the package-level os functions that hit the disk.
+func blockingOSFunc(name string) bool {
+	switch name {
+	case "Open", "OpenFile", "Create", "CreateTemp", "ReadFile", "WriteFile",
+		"Rename", "Remove", "RemoveAll", "Mkdir", "MkdirAll", "ReadDir", "Truncate", "Stat":
+		return true
+	}
+	return false
+}
+
+// exprString renders a (small) expression for diagnostics.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestNoblocklockFixture(t *testing.T) {
+	runFixture(t, AnalyzerNoblocklock, "noblocklock", "odeproto/internal/service")
+}

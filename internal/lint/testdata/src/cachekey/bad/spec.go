@@ -1,0 +1,15 @@
+package service
+
+import "fmt"
+
+type JobSpec struct {
+	Source string
+	Seed   int64 // want `JobSpec\.Seed is not consumed by the cache-key serializer`
+	note   string
+}
+
+type compiled struct{ system string }
+
+func (s *JobSpec) cacheKey(c *compiled) string {
+	return fmt.Sprintf("%s|%s|%s", s.Source, s.note, c.system)
+}

@@ -1,0 +1,23 @@
+package service
+
+import "fmt"
+
+type JobSpec struct {
+	Source string
+	Seed   int64
+	note   string
+}
+
+type compiled struct{ system string }
+
+// compileRequest consumes the compile-shaping prefix of the spec.
+func (s *JobSpec) compileRequest() *compiled {
+	return &compiled{system: s.Source}
+}
+
+// cacheKey consumes the rest; between the two serializers every
+// exported field reaches the key.
+func (s *JobSpec) cacheKey(c *compiled) string {
+	_ = s.note
+	return fmt.Sprintf("%s|%d", c.system, s.Seed)
+}

@@ -1,0 +1,6 @@
+package service
+
+type JobSpec struct {
+	Source string // want `declares no cache-key serializer`
+	Seed   int64
+}

@@ -1,0 +1,46 @@
+package service
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"os"
+)
+
+func writeAll(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() // want `unchecked error from \(\*os\.File\)\.Close on a writable file`
+		return err
+	}
+	f.Sync() // want `unchecked error from \(\*os\.File\)\.Sync`
+	return f.Close()
+}
+
+func buffered(f *os.File, data []byte) error {
+	w := bufio.NewWriter(f)
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	w.Flush() // want `unchecked error from Flush on a writer`
+	return nil
+}
+
+func deferredClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `unchecked error from \(\*os\.File\)\.Close on a writable file`
+	_, err = f.WriteString("x")
+	return err
+}
+
+func stream(w http.ResponseWriter, rows []string) {
+	for _, r := range rows {
+		fmt.Fprintln(w, r) // want `unchecked http\.ResponseWriter write inside a streaming loop`
+	}
+}

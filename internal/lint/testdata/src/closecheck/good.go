@@ -1,0 +1,49 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+)
+
+// checkedClose checks every durability-bearing error; the error-path
+// closes discard explicitly with _ = because the first error owns the
+// return value.
+func checkedClose(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readOnlyClose closes a handle opened with os.Open: read-only, so the
+// deferred close cannot lose data and needs no check.
+func readOnlyClose(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, _ := f.Read(buf)
+	return buf[:n], nil
+}
+
+// checkedStream stops streaming the moment the client hangs up.
+func checkedStream(w http.ResponseWriter, rows []string) error {
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(w, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

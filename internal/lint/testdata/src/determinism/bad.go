@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+func consume(k string, n int) {}
+
+func wallClock() int64 {
+	t := time.Now() // want `time\.Now in a deterministic path`
+	return t.UnixNano()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in a deterministic path`
+}
+
+func jitter() int {
+	return rand.Intn(10) // want `global math/rand RNG \(rand\.Intn\)`
+}
+
+func valuesUnsorted(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want `append inside a range over a map`
+	}
+	return out
+}
+
+func total(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation inside a range over a map`
+	}
+	return sum
+}
+
+func publish(m map[string]int, ch chan<- int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside a range over a map`
+	}
+}
+
+func firstBad(m map[string]int) error {
+	for k, v := range m {
+		if v < 0 {
+			return fmt.Errorf("bad entry %q", k) // want `return inside a range over a map leaks`
+		}
+	}
+	return nil
+}
+
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `write to an io\.Writer inside a range over a map`
+	}
+}
+
+func draws(m map[string]int, rng *rand.Rand) {
+	for k := range m {
+		consume(k, rng.Intn(100)) // want `RNG draw \(Rand\.Intn\)`
+	}
+}
+
+func fanIn(jobs []int) []int {
+	var results []int
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			results = append(results, j*j) // want `append to results from inside a goroutine`
+		}(j)
+	}
+	wg.Wait()
+	return results
+}
+
+func collect(ch <-chan int) []int {
+	var out []int
+	for v := range ch {
+		out = append(out, v) // want `append of received values to out`
+	}
+	return out
+}

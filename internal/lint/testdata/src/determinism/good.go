@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+)
+
+type nodeID string
+
+// sortedKeys is the blessed sorted-keys idiom: collect only the keys,
+// sort, then iterate the slice.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedIDs is the same idiom through a type conversion.
+func sortedIDs(m map[nodeID]bool) []string {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// copyAndCount is order-independent: map copy plus integer accumulation.
+func copyAndCount(m map[string]int) (map[string]int, int) {
+	out := make(map[string]int, len(m))
+	n := 0
+	for k, v := range m {
+		out[k] = v
+		n += v
+	}
+	return out, n
+}
+
+// perKey accumulates floats into per-key map entries, which is
+// order-independent (each key's sum folds the same values).
+func perKey(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] += v
+	}
+	return out
+}
+
+// seeded draws from a local, explicitly seeded source.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// indexedFanIn is the blessed parallel merge: one slot per job, so the
+// result layout is independent of completion order.
+func indexedFanIn(jobs []int) []int {
+	results := make([]int, len(jobs))
+	done := make(chan struct{})
+	for i, j := range jobs {
+		go func(i, j int) {
+			results[i] = j * j
+			done <- struct{}{}
+		}(i, j)
+	}
+	for range jobs {
+		<-done
+	}
+	return results
+}

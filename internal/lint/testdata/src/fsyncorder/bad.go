@@ -1,0 +1,33 @@
+package store
+
+import "os"
+
+type record struct {
+	Op     string
+	Cached bool
+}
+
+type journalT struct{}
+
+func (j *journalT) Append(r record) error { return nil }
+
+type blobs struct{}
+
+func (b *blobs) PutResult(key string, data []byte) error { return nil }
+
+func publishUnsynced(tmp *os.File, dst string) error {
+	if _, err := tmp.Write([]byte("data")); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), dst) // want `os\.Rename reachable from a file write with no intervening Sync`
+}
+
+func doneBeforeBlob(j *journalT, b *blobs, key string, data []byte) error {
+	if err := j.Append(record{Op: "done"}); err != nil { // want `done record journaled before the result blob`
+		return err
+	}
+	return b.PutResult(key, data)
+}

@@ -1,0 +1,16 @@
+package sim
+
+import "time"
+
+// wallLabel carries a justified exemption and must be suppressed.
+func wallLabel() time.Time {
+	//lint:ignore determinism log label only, never reaches simulation output
+	return time.Now()
+}
+
+// bareIgnore's directive has no reason: the directive itself is a
+// diagnostic and the finding it tried to silence survives.
+func bareIgnore() time.Time {
+	//lint:ignore determinism
+	return time.Now()
+}

@@ -1,0 +1,38 @@
+package service
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type state struct {
+	mu    sync.Mutex
+	queue chan int
+	n     int
+}
+
+func (s *state) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding s\.mu\.Lock\(\)`
+	s.mu.Unlock()
+}
+
+func (s *state) sendUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queue <- v // want `channel send while holding s\.mu\.Lock\(\)`
+}
+
+func (s *state) recvUnderLock() int {
+	s.mu.Lock()
+	v := <-s.queue // want `channel receive while holding s\.mu\.Lock\(\)`
+	s.mu.Unlock()
+	return v
+}
+
+func (s *state) diskUnderLock(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.WriteFile(path, []byte("x"), 0o644) // want `file I/O \(os\.WriteFile\) while holding s\.mu\.Lock\(\)`
+}

@@ -1,0 +1,33 @@
+package service
+
+// trySend is the bounded-queue idiom: the default arm keeps the lock
+// hold non-blocking even when the queue is full.
+func (s *state) trySend(v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.queue <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// publish takes the lock only to update state, then sends after
+// unlocking.
+func (s *state) publish(n int) {
+	s.mu.Lock()
+	s.n = n
+	s.mu.Unlock()
+	s.queue <- n
+}
+
+// spawn starts a goroutine under the lock; the literal's body runs
+// outside this lock hold and may block freely.
+func (s *state) spawn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.queue <- s.n
+	}()
+}

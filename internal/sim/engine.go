@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"odeproto/internal/core"
 	"odeproto/internal/mt19937"
@@ -173,7 +174,16 @@ func New(cfg Config) (*Engine, error) {
 	}
 	up := cfg.N - cfg.InitiallyDown
 	total := 0
-	for s, c := range cfg.Initial {
+	// Validate in sorted-key order so which bad entry the error names is
+	// deterministic, not map-iteration-ordered.
+	initialStates := make([]string, 0, len(cfg.Initial))
+	for s := range cfg.Initial {
+		initialStates = append(initialStates, string(s))
+	}
+	sort.Strings(initialStates)
+	for _, name := range initialStates {
+		s := ode.Var(name)
+		c := cfg.Initial[s]
 		if _, ok := e.stateIdx[s]; !ok {
 			return nil, fmt.Errorf("sim: initial state %q not in protocol", s)
 		}

@@ -629,3 +629,19 @@ func TestConservationUnderStress(t *testing.T) {
 		}
 	}
 }
+
+// TestValidationErrorDeterministic pins that New validates Initial in
+// sorted-key order: with several bad entries, the error always names the
+// lexicographically first one instead of whichever map iteration
+// surfaces first.
+func TestValidationErrorDeterministic(t *testing.T) {
+	proto := epidemicProto(t)
+	want := `sim: initial state "q" not in protocol`
+	for i := 0; i < 50; i++ {
+		cfg := Config{N: 10, Protocol: proto, Initial: map[ode.Var]int{"x": 8, "w": 1, "q": 1}}
+		_, err := New(cfg)
+		if err == nil || err.Error() != want {
+			t.Fatalf("run %d: err = %v, want %q", i, err, want)
+		}
+	}
+}

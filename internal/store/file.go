@@ -91,7 +91,7 @@ func Open(dir string, opts Options) (*FileStore, error) {
 	}
 	w, recs, err := openWAL(filepath.Join(dir, "wal"), segBytes)
 	if err != nil {
-		lock.Close()
+		_ = lock.Close()
 		return nil, err
 	}
 	s := &FileStore{dir: dir, wal: w, lock: lock, jobs: make(map[string]*RecoveredJob)}
@@ -279,12 +279,12 @@ func (s *FileStore) PutResult(key string, data []byte) error {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
-		f.Close()
+		_ = f.Close()
 		os.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		os.Remove(tmp)
 		return err
 	}
@@ -386,7 +386,11 @@ func (s *FileStore) Close() error {
 	s.closed = true
 	err := s.wal.close()
 	if s.lock != nil {
-		s.lock.Close() // closing the fd drops the flock
+		// Closing the fd drops the flock; surface its error unless the WAL
+		// close already claimed the return.
+		if cerr := s.lock.Close(); err == nil {
+			err = cerr
+		}
 		s.lock = nil
 	}
 	return err

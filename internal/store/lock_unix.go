@@ -17,7 +17,7 @@ func lockDir(dir string) (*os.File, error) {
 		return nil, err
 	}
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("data dir %s is locked by another process: %w", dir, err)
 	}
 	return f, nil

@@ -88,7 +88,7 @@ func openWAL(dir string, segBytes int64) (*wal, []JobRecord, error) {
 		}
 		info, err := f.Stat()
 		if err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, err
 		}
 		w.segIndex, w.f, w.size = last, f, info.Size()
@@ -243,19 +243,19 @@ func (w *wal) compact(recs []JobRecord) error {
 	for _, rec := range recs {
 		buf, err := frame(rec)
 		if err != nil {
-			f.Close()
+			_ = f.Close()
 			os.Remove(tmp)
 			return err
 		}
 		if _, err := f.Write(buf); err != nil {
-			f.Close()
+			_ = f.Close()
 			os.Remove(tmp)
 			return err
 		}
 		size += int64(len(buf))
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		os.Remove(tmp)
 		return err
 	}
