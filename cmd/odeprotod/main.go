@@ -16,7 +16,9 @@
 // recovers its job list, warms the result cache from disk, and serves
 // previously computed sweeps without re-simulating (see README.md
 // "Durability"). -wal-group-commit coalesces concurrent WAL appends
-// into shared fsyncs.
+// into shared fsyncs. While recovery runs, every endpoint — including
+// GET /v1/healthz — answers 503 {"status":"recovering"}, so cluster
+// probers don't route to a node that can't serve results yet.
 //
 // With -peers, the daemon joins a static cluster: every node runs the
 // identical peer list, any node accepts any request, and a
@@ -26,33 +28,42 @@
 //
 //	odeprotod -addr :8080 -peers host1:8080,host2:8080,host3:8080 -self host1:8080
 //
+// Observability (README.md "Observability"): Prometheus-format metrics at
+// GET /metrics, per-job lifecycle traces at GET /v1/jobs/{id}/trace, JSON
+// structured logs on stderr, and — with -debug-addr — net/http/pprof and
+// expvar on a separate listener kept off the public port.
+//
 // Quick tour (see README.md "Running the service" for the full schema):
 //
 //	curl -s localhost:8080/v1/healthz
 //	curl -s localhost:8080/v1/compile -d '{"source": "x'"'"' = -x*y\ny'"'"' = x*y"}'
 //	curl -s localhost:8080/v1/jobs -d '{"source": "x'"'"' = -x*y\ny'"'"' = x*y", "n": 10000, "periods": 50}'
 //	curl -s localhost:8080/v1/jobs/j000001
-//	curl -s localhost:8080/v1/jobs/j000001/stream
+//	curl -s localhost:8080/v1/jobs/j000001/trace
 //	curl -s localhost:8080/v1/jobs/j000001/figure.svg
-//	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"odeproto/internal/cluster"
+	"odeproto/internal/obs"
 	"odeproto/internal/service"
 	"odeproto/internal/store"
 )
@@ -66,10 +77,56 @@ func main() {
 	}
 }
 
+// switchHandler is an atomically swappable http.Handler. The daemon
+// serves it from the first moment the listener is open: a "recovering"
+// handler answers 503 while WAL replay and cache warming run, then the
+// real mux is swapped in before ready is signaled. Cluster probers treat
+// the 503 as down and keep routing around the node until it can serve.
+type switchHandler struct {
+	h atomic.Value // http.Handler
+}
+
+func newSwitchHandler(initial http.Handler) *switchHandler {
+	sw := &switchHandler{}
+	sw.h.Store(&initial)
+	return sw
+}
+
+func (sw *switchHandler) swap(h http.Handler) { sw.h.Store(&h) }
+
+func (sw *switchHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*sw.h.Load().(*http.Handler)).ServeHTTP(w, r)
+}
+
+// recoveringHandler answers every request — healthz included — with 503
+// so load balancers and peers back off until recovery finishes.
+func recoveringHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"status":"recovering"}` + "\n"))
+	})
+}
+
+// debugHandler serves pprof and expvar. It is only ever mounted on the
+// -debug-addr listener, never the public one: profiles can stall the
+// process and expvar exposes memory internals.
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
 // run starts the daemon and blocks until the context is cancelled or the
 // listener fails. When ready is non-nil, the bound address is sent on it
-// once the server is accepting connections (the end-to-end tests listen
-// on 127.0.0.1:0 and need the resolved port).
+// once the server is accepting connections and recovery has finished
+// (the end-to-end tests listen on 127.0.0.1:0 and need the resolved
+// port).
 func run(ctx context.Context, args []string, ready chan<- string) error {
 	fs := flag.NewFlagSet("odeprotod", flag.ContinueOnError)
 	var (
@@ -87,6 +144,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		resumeInterr   = fs.Bool("resume-interrupted", false, "resubmit jobs the previous process left queued or mid-run (specs are recovered from the WAL)")
 		peersFlag      = fs.String("peers", "", "comma-separated static cluster peer list (host:port, this node included); every node must be started with the identical list")
 		selfFlag       = fs.String("self", "", "this node's entry in -peers (default: inferred from the bound listen address)")
+		debugAddr      = fs.String("debug-addr", "", "serve net/http/pprof and expvar on this separate address (empty = off); never expose it publicly")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -121,21 +179,55 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		}
 	}
 
+	// One registry and one logger for the whole process: service, store,
+	// and cluster record into the same /metrics namespace, and every log
+	// line carries the node name.
+	node := self
+	if node == "" {
+		node = ln.Addr().String()
+	}
+	reg := obs.NewRegistry()
+	logger := obs.NewLogger(os.Stderr, node)
+
+	// Accept connections immediately, answering 503 "recovering" until
+	// the store has replayed its WAL and the service is built; then the
+	// real handler is swapped in. A restarted node is thus always
+	// reachable (healthz answers) but never serves half-recovered state.
+	sw := newSwitchHandler(recoveringHandler())
+	httpSrv := &http.Server{Handler: sw}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fail := func(err error) error {
+		httpSrv.Close()
+		return err
+	}
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fail(fmt.Errorf("debug listener: %w", err))
+		}
+		dbgSrv := &http.Server{Handler: debugHandler()}
+		go func() { _ = dbgSrv.Serve(dln) }()
+		defer dbgSrv.Close()
+		logger.Info("debug listener serving pprof and expvar", "debug_addr", dln.Addr().String())
+	}
+
 	var backend store.Store
 	if *dataDir != "" {
 		fst, err := store.Open(*dataDir, store.Options{SegmentBytes: *walSegBytes, GroupCommit: *walGroupCommit})
 		if err != nil {
-			return fmt.Errorf("opening data dir %s: %w", *dataDir, err)
+			return fail(fmt.Errorf("opening data dir %s: %w", *dataDir, err))
 		}
 		defer fst.Close() // after srv.Close below: shutdown journals queued-job cancellations
 		if *compactOnStart {
 			if err := fst.Compact(); err != nil {
-				return fmt.Errorf("compacting WAL in %s: %w", *dataDir, err)
+				return fail(fmt.Errorf("compacting WAL in %s: %w", *dataDir, err))
 			}
 		}
 		st := fst.Stats()
-		log.Printf("odeprotod: recovered %d jobs from %s (%d WAL segments, %d torn-tail truncations)",
-			st.RecoveredJobs, *dataDir, st.WALSegments, st.TailTruncations)
+		logger.Info("recovered store", "dir", *dataDir, "jobs", st.RecoveredJobs,
+			"wal_segments", st.WALSegments, "tail_truncations", st.TailTruncations)
 		backend = fst
 	}
 
@@ -148,36 +240,39 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		Store:             backend,
 		ResumeInterrupted: *resumeInterr,
 		JobIDPrefix:       idPrefix,
+		Metrics:           reg,
+		Logger:            logger,
+		Node:              node,
 	})
 	defer srv.Close()
 
 	handler := http.Handler(srv.Handler())
 	if len(peerList) > 0 {
-		router, err := cluster.New(cluster.Config{Peers: peerList, Self: self, Service: srv})
+		router, err := cluster.New(cluster.Config{
+			Peers: peerList, Self: self, Service: srv,
+			Metrics: reg, Logger: logger,
+		})
 		if err != nil {
-			return err
+			return fail(err)
 		}
 		defer router.Close()
 		handler = router
-		log.Printf("odeprotod: cluster node %s (job-id prefix %s) in a ring of %d peers",
-			self, idPrefix, len(peerList))
+		logger.Info("joined cluster ring", "self", self, "job_id_prefix", idPrefix, "peers", len(peerList))
 	}
 
-	httpSrv := &http.Server{Handler: handler}
-	log.Printf("odeprotod: serving on %s (%d workers, queue %d, cache %d)",
-		ln.Addr(), *workers, *queue, *cacheSize)
+	sw.swap(handler)
+	logger.Info("serving", "addr", ln.Addr().String(),
+		"workers", *workers, "queue", *queue, "cache", *cacheSize)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
 
-	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.Serve(ln) }()
-	return waitShutdown(ctx, errc, httpSrv, srv)
+	return waitShutdown(ctx, errc, httpSrv, srv, logger)
 }
 
 // waitShutdown blocks until the listener fails or the context is
 // cancelled, then drains in-flight work in dependency order.
-func waitShutdown(ctx context.Context, errc <-chan error, httpSrv *http.Server, srv *service.Server) error {
+func waitShutdown(ctx context.Context, errc <-chan error, httpSrv *http.Server, srv *service.Server, logger *slog.Logger) error {
 	select {
 	case err := <-errc:
 		return err
@@ -190,7 +285,7 @@ func waitShutdown(ctx context.Context, errc <-chan error, httpSrv *http.Server, 
 		if err := httpSrv.Shutdown(shCtx); err != nil {
 			return err
 		}
-		log.Printf("odeprotod: shut down")
+		logger.Info("shut down")
 		return nil
 	}
 }

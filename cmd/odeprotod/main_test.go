@@ -17,6 +17,7 @@ import (
 
 	"odeproto/internal/core"
 	"odeproto/internal/harness"
+	"odeproto/internal/obs"
 	"odeproto/internal/ode"
 	"odeproto/internal/rewrite"
 	"odeproto/internal/service"
@@ -486,8 +487,10 @@ func TestClusterEndToEnd(t *testing.T) {
 	bases := make([]string, len(addrs))
 	for i, addr := range addrs {
 		// -self is deliberately omitted on a distinct-port loopback
-		// cluster: the daemon infers it from the bound address.
-		bases[i], _ = startDaemonCtl(t, "-addr", addr, "-workers", "1", "-peers", peers)
+		// cluster: the daemon infers it from the bound address. Each node
+		// gets a -data dir so the scrape below covers the WAL and blob
+		// metric families too.
+		bases[i], _ = startDaemonCtl(t, "-addr", addr, "-workers", "1", "-peers", peers, "-data", t.TempDir())
 	}
 
 	// Nodes started first probed peers that weren't listening yet; wait
@@ -586,6 +589,69 @@ func TestClusterEndToEnd(t *testing.T) {
 	}
 	if sweeps != 1 {
 		t.Fatalf("cluster executed %d sweeps for one spec, want 1", sweeps)
+	}
+
+	// Scrape /metrics on all three nodes: the exposition must parse, the
+	// histograms must be well-formed, every required family must be
+	// present, and the sweep counter must agree with the JSON stats
+	// (exactly one execution cluster-wide). CI's cluster-e2e step runs
+	// this test, so a malformed or incomplete exposition fails the build.
+	required := []string{
+		"odeproto_jobs_submitted_total",
+		"odeproto_jobs_coalesced_total",
+		"odeproto_sweeps_executed_total",
+		"odeproto_queue_depth",
+		"odeproto_queue_capacity",
+		"odeproto_queue_wait_seconds",
+		"odeproto_cache_hits_total",
+		"odeproto_cache_misses_total",
+		"odeproto_cache_size",
+		"odeproto_sweep_latency_seconds",
+		"odeproto_wal_records_total",
+		"odeproto_wal_syncs_total",
+		"odeproto_wal_bytes",
+		"odeproto_store_results_written_total",
+		"odeproto_cluster_owner_local_total",
+		"odeproto_cluster_forwarded_total",
+		"odeproto_cluster_peer_alive",
+		"odeproto_metrics_render_errors_total",
+	}
+	var metricSweeps float64
+	for i, base := range bases {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /metrics via node %d: %d %v", i, resp.StatusCode, err)
+		}
+		fams, err := obs.ParseExposition(bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("node %d serves a malformed exposition: %v\n%s", i, err, body)
+		}
+		for _, name := range required {
+			if _, ok := fams[name]; !ok {
+				t.Errorf("node %d /metrics lacks required family %s", i, name)
+			}
+		}
+		for _, fam := range fams {
+			if fam.Type == "histogram" {
+				if _, err := obs.CheckHistogram(fam); err != nil {
+					t.Errorf("node %d %s: %v", i, fam.Name, err)
+				}
+			}
+		}
+		if v, ok := fams["odeproto_sweeps_executed_total"].Value("odeproto_sweeps_executed_total", nil); ok {
+			metricSweeps += v
+		}
+		if v, ok := fams["odeproto_metrics_render_errors_total"].Value("odeproto_metrics_render_errors_total", nil); !ok || v != 0 {
+			t.Errorf("node %d reports %g render errors", i, v)
+		}
+	}
+	if metricSweeps != float64(sweeps) {
+		t.Fatalf("/metrics counts %g sweeps cluster-wide, /v1/stats counted %d", metricSweeps, sweeps)
 	}
 }
 

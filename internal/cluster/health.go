@@ -34,19 +34,45 @@ func (p *peerState) isAlive() bool {
 	return p.alive
 }
 
-func (p *peerState) markUp() {
+// markUp/markDown report whether the verdict changed, so the router can
+// log and gauge only the transitions (outside the peer mutex).
+func (p *peerState) markUp() bool {
 	p.mu.Lock()
+	was := p.alive
 	p.alive = true
 	p.lastErr = ""
 	p.lastSeen = time.Now()
 	p.mu.Unlock()
+	return !was
 }
 
-func (p *peerState) markDown(err error) {
+func (p *peerState) markDown(err error) bool {
 	p.mu.Lock()
+	was := p.alive
 	p.alive = false
 	p.lastErr = err.Error()
 	p.mu.Unlock()
+	return was
+}
+
+// markPeerDown records a failed forward or probe: peer state, the
+// liveness gauge, and — on the alive→down transition only — a log line.
+func (rt *Router) markPeerDown(i int, err error) {
+	p := rt.peers[i]
+	if p.markDown(err) {
+		rt.met.peerAlive.With(p.addr).Set(0)
+		rt.log.Warn("peer down", "peer", p.addr, "err", err)
+	}
+}
+
+// markPeerUp records a successful probe (the only path that revives a
+// peer).
+func (rt *Router) markPeerUp(i int) {
+	p := rt.peers[i]
+	if p.markUp() {
+		rt.met.peerAlive.With(p.addr).Set(1)
+		rt.log.Info("peer up", "peer", p.addr)
+	}
 }
 
 // PeerStatus is one peer's row in the cluster section of /v1/stats.
@@ -82,10 +108,10 @@ func (rt *Router) probeAll() {
 			continue
 		}
 		if err := rt.probe(p.addr); err != nil {
-			p.markDown(err)
-			rt.probeFailures.Add(1)
+			rt.markPeerDown(i, err)
+			rt.met.probeFailures.Inc()
 		} else {
-			p.markUp()
+			rt.markPeerUp(i)
 		}
 	}
 }

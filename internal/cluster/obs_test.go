@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"odeproto/internal/obs"
+	"odeproto/internal/service"
+)
+
+// syncBuf is a goroutine-safe log sink: the prober and request handlers
+// log concurrently with the test's reads.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// scrapeNode fetches and parses one node's /metrics over real HTTP.
+func scrapeNode(t *testing.T, n *testNode) map[string]*obs.MetricFamily {
+	t.Helper()
+	code, body := getBody(t, n.base()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics on %s: %d %s", n.addr, code, body)
+	}
+	fams, err := obs.ParseExposition(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("node %s serves malformed exposition: %v\n%s", n.addr, err, body)
+	}
+	return fams
+}
+
+// metricValue reads one sample, tolerating families that have no series
+// yet (unobserved histograms and vectors read as 0).
+func metricValue(fams map[string]*obs.MetricFamily, name string, labels map[string]string) float64 {
+	for _, fam := range fams {
+		if v, ok := fam.Value(name, labels); ok {
+			return v
+		}
+	}
+	return 0
+}
+
+// TestClusterTraceAndMetrics is the acceptance test of the flight
+// recorder's cross-node story: a job submitted through a non-owner is
+// forwarded under one trace ID, that ID shows up in both nodes'
+// structured logs and in GET /v1/jobs/{id}/trace with every lifecycle
+// span, and scraping both nodes' /metrics shows the miss, the hit, and
+// the forward as counter deltas with well-formed histograms.
+func TestClusterTraceAndMetrics(t *testing.T) {
+	nodes := startTestCluster(t, 2)
+
+	// Pick a seed whose content address node 1 owns, so a POST through
+	// node 0 must forward.
+	seed := int64(0)
+	for s := int64(1); s < 1000; s++ {
+		if nodes[0].rt.ring.owner(specKey(t, nodes[0].svc, s)) == 1 {
+			seed = s
+			break
+		}
+	}
+	if seed == 0 {
+		t.Fatal("no seed routes to node 1")
+	}
+
+	before0 := scrapeNode(t, nodes[0])
+	before1 := scrapeNode(t, nodes[1])
+
+	// Miss: submitted through node 0, executed on node 1.
+	code, body := postJSON(t, nodes[0].base()+"/v1/jobs", testSpec(seed))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !obs.ValidTraceID(st.Trace) {
+		t.Fatalf("forwarded submission carries no valid trace ID: %q", st.Trace)
+	}
+	pollDone(t, nodes[0].base(), st.ID, time.Minute)
+
+	// Hit: the identical spec through node 0 again is a forwarded cache
+	// hit on node 1.
+	code, body = postJSON(t, nodes[0].base()+"/v1/jobs", testSpec(seed))
+	if code != http.StatusOK {
+		t.Fatalf("duplicate submit: %d %s", code, body)
+	}
+
+	// The trace endpoint is routable from the non-owner and reports the
+	// full lifecycle under the submission's trace ID.
+	code, body = getBody(t, nodes[0].base()+"/v1/jobs/"+st.ID+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("trace via non-owner: %d %s", code, body)
+	}
+	var tr service.TraceStatus
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Trace != st.Trace {
+		t.Fatalf("trace endpoint reports ID %s, submission returned %s", tr.Trace, st.Trace)
+	}
+	if tr.Node != nodes[1].addr {
+		t.Fatalf("trace recorded on node %q, want owner %s", tr.Node, nodes[1].addr)
+	}
+	wantStages := []string{obs.StageQueued, obs.StageCompiled, obs.StageSwept, obs.StagePersisted, obs.StageResponded}
+	if len(tr.Spans) != len(wantStages) {
+		t.Fatalf("trace spans %+v, want stages %v", tr.Spans, wantStages)
+	}
+	for i, sp := range tr.Spans {
+		if sp.Stage != wantStages[i] {
+			t.Fatalf("span %d is %q, want %q", i, sp.Stage, wantStages[i])
+		}
+	}
+
+	// One trace ID, both logs: the forwarding node logged the routing
+	// decision, the owner logged queue + completion, all under st.Trace.
+	logs0, logs1 := nodes[0].logs.String(), nodes[1].logs.String()
+	if !strings.Contains(logs0, st.Trace) || !strings.Contains(logs0, "forwarded request") {
+		t.Fatalf("forwarding node log lacks the trace:\n%s", logs0)
+	}
+	if !strings.Contains(logs1, st.Trace) || !strings.Contains(logs1, "job finished") {
+		t.Fatalf("owner node log lacks the trace completion line:\n%s", logs1)
+	}
+
+	// Counter deltas across the miss + hit: the owner saw both
+	// submissions, ran exactly one sweep, and counted one miss and one
+	// hit; the forwarder ran nothing and counted the proxying.
+	after0 := scrapeNode(t, nodes[0])
+	after1 := scrapeNode(t, nodes[1])
+	delta := func(before, after map[string]*obs.MetricFamily, name string, labels map[string]string) float64 {
+		return metricValue(after, name, labels) - metricValue(before, name, labels)
+	}
+	if d := delta(before1, after1, "odeproto_jobs_submitted_total", nil); d != 2 {
+		t.Errorf("owner jobs_submitted delta = %g, want 2", d)
+	}
+	if d := delta(before1, after1, "odeproto_sweeps_executed_total", nil); d != 1 {
+		t.Errorf("owner sweeps_executed delta = %g, want 1", d)
+	}
+	if d := delta(before1, after1, "odeproto_cache_misses_total", nil); d != 1 {
+		t.Errorf("owner cache_misses delta = %g, want 1", d)
+	}
+	if d := delta(before1, after1, "odeproto_cache_hits_total", nil); d < 1 {
+		t.Errorf("owner cache_hits delta = %g, want >= 1", d)
+	}
+	if d := delta(before0, after0, "odeproto_sweeps_executed_total", nil); d != 0 {
+		t.Errorf("forwarder executed %g sweeps", d)
+	}
+	if d := delta(before0, after0, "odeproto_cluster_forwarded_total", nil); d < 2 {
+		t.Errorf("forwarder cluster_forwarded delta = %g, want >= 2 (submit + hit)", d)
+	}
+	if v := metricValue(after0, "odeproto_cluster_peer_alive", map[string]string{"peer": nodes[1].addr}); v != 1 {
+		t.Errorf("peer_alive{peer=%s} = %g on the forwarder, want 1", nodes[1].addr, v)
+	}
+
+	// The owner's latency histograms are well-formed (cumulative,
+	// +Inf-terminated, consistent with _count) and saw the one real run.
+	for _, h := range []string{"odeproto_queue_wait_seconds", "odeproto_sweep_latency_seconds"} {
+		fam, ok := after1[h]
+		if !ok {
+			t.Fatalf("owner exposes no %s", h)
+		}
+		if _, err := obs.CheckHistogram(fam); err != nil {
+			t.Errorf("%s: %v", h, err)
+		}
+	}
+	if v := metricValue(after1, "odeproto_sweep_latency_seconds_count",
+		map[string]string{"engine": "agent", "mode": ""}); v != 1 {
+		t.Errorf("owner sweep_latency count = %g, want 1", v)
+	}
+}

@@ -5,13 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"odeproto/internal/obs"
 	"odeproto/internal/service"
 )
 
@@ -52,6 +53,42 @@ type Config struct {
 	// 2s). Established connections have no overall deadline: job streams
 	// are long-lived by design.
 	DialTimeout time.Duration
+	// Metrics receives the router's counters and the per-peer liveness
+	// gauge (the peer label set is the boot-fixed peer list, so its
+	// cardinality is bounded). nil gets a private registry.
+	Metrics *obs.Registry
+	// Logger receives routing decisions (forwards with their trace ID,
+	// peer up/down transitions). nil discards.
+	Logger *slog.Logger
+}
+
+// clusterMetrics is every counter the router maintains; the /v1/stats
+// cluster section reads these same values back.
+type clusterMetrics struct {
+	ownerLocal     *obs.Counter
+	forwarded      *obs.Counter
+	retried        *obs.Counter
+	ringMismatches *obs.Counter
+	probeFailures  *obs.Counter
+	peerAlive      *obs.GaugeVec
+}
+
+func newClusterMetrics(r *obs.Registry) *clusterMetrics {
+	return &clusterMetrics{
+		ownerLocal: r.Counter("odeproto_cluster_owner_local_total",
+			"Key-routed requests this node owned and served itself."),
+		forwarded: r.Counter("odeproto_cluster_forwarded_total",
+			"Requests proxied to another node."),
+		retried: r.Counter("odeproto_cluster_retried_total",
+			"Requests that fell through to a ring successor because a preferred node was down."),
+		ringMismatches: r.Counter("odeproto_cluster_ring_mismatches_total",
+			"Forwards rejected because the peer was started with a different -peers list."),
+		probeFailures: r.Counter("odeproto_cluster_probe_failures_total",
+			"Failed health probes of remote peers."),
+		peerAlive: r.GaugeVec("odeproto_cluster_peer_alive",
+			"Peer liveness as seen by this node (1 = alive; the static peer list bounds the label set).",
+			"peer"),
+	}
 }
 
 // Router is the cluster front-end an odeprotod node serves instead of
@@ -74,11 +111,11 @@ type Router struct {
 	stop          chan struct{}
 	closeOnce     sync.Once
 
-	ownerLocal     atomic.Int64 // requests this node owned and served
-	forwarded      atomic.Int64 // requests proxied to another node
-	retried        atomic.Int64 // forwards that fell through to a ring successor
-	ringMismatches atomic.Int64 // forwards rejected for ring disagreement
-	probeFailures  atomic.Int64
+	// met holds the routing counters (owner-local, forwarded, retried,
+	// ring-mismatch, probe-failure) and the per-peer liveness gauge in
+	// the obs registry; Stats() reads the same values back.
+	met *clusterMetrics
+	log *slog.Logger
 }
 
 // New validates the membership, builds the ring, and starts the health
@@ -118,6 +155,14 @@ func New(cfg Config) (*Router, error) {
 	if dialTimeout <= 0 {
 		dialTimeout = 2 * time.Second
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
 	transport := &http.Transport{
 		DialContext:         (&net.Dialer{Timeout: dialTimeout}).DialContext,
 		MaxIdleConns:        64,
@@ -137,9 +182,12 @@ func New(cfg Config) (*Router, error) {
 		peers:         make([]*peerState, len(nodes)),
 		probeInterval: probeInterval,
 		stop:          make(chan struct{}),
+		met:           newClusterMetrics(reg),
+		log:           logger,
 	}
 	for i, n := range nodes {
 		rt.peers[i] = &peerState{addr: n, alive: true}
+		rt.met.peerAlive.With(n).Set(1) // presumed alive until a probe says otherwise
 	}
 	rt.probeWG.Add(1)
 	go rt.probeLoop()
@@ -212,7 +260,8 @@ func jobIDNode(id string) (int, bool) {
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if fp := r.Header.Get(headerForwarded); fp != "" {
 		if fp != rt.fp {
-			rt.ringMismatches.Add(1)
+			rt.met.ringMismatches.Inc()
+			rt.log.Warn("rejected forward from mismatched ring", "peer_ring", fp, "ring", rt.fp)
 			w.Header().Set(headerRingMismatch, "1")
 			writeJSON(w, http.StatusBadGateway, map[string]string{
 				"error": fmt.Sprintf(
@@ -255,6 +304,11 @@ func (rt *Router) routeSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{
 			"error": fmt.Sprintf("request body exceeds %d bytes", maxSpecBytes)})
 		return
+	}
+	// Mint the trace ID at the first node the client touched: however
+	// many hops the submit takes, every involved node logs the same ID.
+	if !obs.ValidTraceID(r.Header.Get(obs.TraceHeader)) {
+		r.Header.Set(obs.TraceHeader, obs.NewTraceID())
 	}
 	var spec service.JobSpec
 	key := ""
@@ -310,11 +364,11 @@ func (rt *Router) routeByKey(w http.ResponseWriter, r *http.Request, key string,
 		if n != order[0] {
 			// Resolving anywhere but the key's true owner is a retry,
 			// whether the owner failed a forward or was already marked down.
-			rt.retried.Add(1)
+			rt.met.retried.Inc()
 		}
 		if n == rt.self {
 			if n == order[0] {
-				rt.ownerLocal.Add(1)
+				rt.met.ownerLocal.Inc()
 			}
 			if retryOn404 {
 				// Peek locally; fall through to successors on a miss.
@@ -331,10 +385,12 @@ func (rt *Router) routeByKey(w http.ResponseWriter, r *http.Request, key string,
 		}
 		resp, err := rt.forward(r, rt.peers[n].addr, body)
 		if err != nil {
-			rt.peers[n].markDown(err)
+			rt.markPeerDown(n, err)
 			continue
 		}
-		rt.forwarded.Add(1)
+		rt.met.forwarded.Inc()
+		rt.log.Info("forwarded request", "target", rt.peers[n].addr, "path", r.URL.Path,
+			"key", key, "trace", r.Header.Get(obs.TraceHeader), "retry", n != order[0])
 		if retryOn404 && resp.StatusCode == http.StatusNotFound && i < len(candidates)-1 {
 			if last404 != nil {
 				last404.Body.Close()
@@ -368,13 +424,14 @@ func (rt *Router) routeJob(w http.ResponseWriter, r *http.Request, idPath string
 	}
 	resp, err := rt.forward(r, rt.peers[home].addr, nil)
 	if err != nil {
-		rt.peers[home].markDown(err)
+		rt.markPeerDown(home, err)
 		writeJSON(w, http.StatusBadGateway, map[string]string{
 			"error": fmt.Sprintf("job %s lives on %s, which is unreachable: %v", id, rt.peers[home].addr, err),
 		})
 		return
 	}
-	rt.forwarded.Add(1)
+	rt.met.forwarded.Inc()
+	rt.log.Info("forwarded request", "target", rt.peers[home].addr, "path", r.URL.Path, "job", id)
 	relay(w, resp)
 }
 
@@ -404,6 +461,9 @@ func (rt *Router) forward(r *http.Request, addr string, body []byte) (*http.Resp
 	}
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		req.Header.Set("Content-Type", ct)
+	}
+	if tid := r.Header.Get(obs.TraceHeader); tid != "" {
+		req.Header.Set(obs.TraceHeader, tid)
 	}
 	req.Header.Set(headerForwarded, rt.fp)
 	return rt.client.Do(req)
@@ -462,18 +522,19 @@ type Stats struct {
 	ProbeFailures  int64 `json:"probe_failures"`
 }
 
-// Stats snapshots the router counters and peer health.
+// Stats snapshots the router counters and peer health. The counters are
+// read back from the obs registry — the same values /metrics renders.
 func (rt *Router) Stats() Stats {
 	st := Stats{
 		Self:           rt.selfAddr,
 		Ring:           rt.fp,
 		VNodes:         rt.vnodes,
 		Peers:          make([]PeerStatus, len(rt.peers)),
-		OwnerLocal:     rt.ownerLocal.Load(),
-		Forwarded:      rt.forwarded.Load(),
-		Retried:        rt.retried.Load(),
-		RingMismatches: rt.ringMismatches.Load(),
-		ProbeFailures:  rt.probeFailures.Load(),
+		OwnerLocal:     rt.met.ownerLocal.Value(),
+		Forwarded:      rt.met.forwarded.Value(),
+		Retried:        rt.met.retried.Value(),
+		RingMismatches: rt.met.ringMismatches.Value(),
+		ProbeFailures:  rt.met.probeFailures.Value(),
 	}
 	for i, p := range rt.peers {
 		p.mu.Lock()

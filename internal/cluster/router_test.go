@@ -11,16 +11,21 @@ import (
 	"testing"
 	"time"
 
+	"odeproto/internal/obs"
 	"odeproto/internal/service"
 )
 
 // testNode is one in-process cluster member: a real TCP listener, a
-// service instance, and the router in front of it.
+// service instance, and the router in front of it, plus the node's obs
+// registry and captured structured log (the trace/metrics tests read
+// them back).
 type testNode struct {
 	addr string
 	svc  *service.Server
 	rt   *Router
 	hs   *http.Server
+	reg  *obs.Registry
+	logs *syncBuf
 }
 
 func (n *testNode) base() string { return "http://" + n.addr }
@@ -55,20 +60,28 @@ func startTestCluster(t *testing.T, n int) []*testNode {
 		if err != nil {
 			t.Fatal(err)
 		}
-		svc := service.New(service.Config{Workers: 1, JobIDPrefix: prefix})
+		reg := obs.NewRegistry()
+		logs := &syncBuf{}
+		logger := obs.NewLogger(logs, addr)
+		svc := service.New(service.Config{
+			Workers: 1, JobIDPrefix: prefix,
+			Metrics: reg, Logger: logger, Node: addr,
+		})
 		rt, err := New(Config{
 			Peers:         peers,
 			Self:          peers[i],
 			Service:       svc,
 			ProbeInterval: 100 * time.Millisecond,
 			ProbeTimeout:  500 * time.Millisecond,
+			Metrics:       reg,
+			Logger:        logger,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
 		hs := &http.Server{Handler: rt}
 		go hs.Serve(ln)
-		node := &testNode{addr: peers[i], svc: svc, rt: rt, hs: hs}
+		node := &testNode{addr: peers[i], svc: svc, rt: rt, hs: hs, reg: reg, logs: logs}
 		nodes[i] = node
 		t.Cleanup(func() {
 			hs.Close()

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Event schedules one perturbation at the start of a period: it is applied
@@ -70,6 +71,16 @@ type Options struct {
 	// Workers is the worker-pool size; 0 selects DefaultWorkers (which
 	// itself defaults to runtime.NumCPU()).
 	Workers int
+	// Now, when non-nil, is sampled around each job to time it for
+	// OnJobDone. The harness never reads the wall clock itself — timing
+	// is observability, supplied by the caller, so the determinism
+	// contract (output depends only on jobs and seeds) is untouched.
+	Now func() time.Time
+	// OnJobDone, when non-nil (and Now is set), is called after each
+	// job finishes with its index, result, and start/end times sampled
+	// from Now. It runs on the worker goroutine that ran the job and
+	// must be safe for concurrent calls.
+	OnJobDone func(i int, res Result, start, end time.Time)
 }
 
 // defaultWorkers overrides the worker count selected when Options.Workers
@@ -122,9 +133,20 @@ func SweepContext(ctx context.Context, jobs []Job, opt Options) ([]Result, error
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	// runTimed wraps runJob with the caller-supplied clock so both the
+	// serial and parallel branches report identical timing hooks.
+	runTimed := func(i int) Result {
+		if opt.Now == nil || opt.OnJobDone == nil {
+			return runJob(ctx, &jobs[i])
+		}
+		start := opt.Now()
+		res := runJob(ctx, &jobs[i])
+		opt.OnJobDone(i, res, start, opt.Now())
+		return res
+	}
 	if workers <= 1 {
 		for i := range jobs {
-			results[i] = runJob(ctx, &jobs[i])
+			results[i] = runTimed(i)
 		}
 	} else {
 		idx := make(chan int)
@@ -134,7 +156,7 @@ func SweepContext(ctx context.Context, jobs []Job, opt Options) ([]Result, error
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					results[i] = runJob(ctx, &jobs[i])
+					results[i] = runTimed(i)
 				}
 			}()
 		}

@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic Options.Now: every call advances one
+// second. Safe for the parallel sweep branch, where workers sample it
+// concurrently.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(time.Second)
+	return c.now
+}
+
+// TestSweepTimingHooks pins the harness's observability contract: with
+// Now and OnJobDone set, every job gets exactly one callback bracketing
+// its run with times sampled from the caller's clock — and the sweep's
+// results are byte-identical to an unhooked run, because the harness
+// itself never touches the wall clock.
+func TestSweepTimingHooks(t *testing.T) {
+	mkJobs := func() []Job {
+		jobs := make([]Job, 3)
+		for i := range jobs {
+			seed := int64(i + 1)
+			jobs[i] = Job{
+				Name:    "timed",
+				Seed:    seed,
+				New:     func(s int64) (Runner, error) { return &fakeRunner{seed: s}, nil },
+				Periods: 4,
+			}
+		}
+		return jobs
+	}
+
+	type call struct {
+		i          int
+		seed       int64
+		start, end time.Time
+	}
+	var mu sync.Mutex
+	var calls []call
+	clock := &fakeClock{}
+	hooked, err := Sweep(mkJobs(), Options{
+		Workers: 1,
+		Now:     clock.Now,
+		OnJobDone: func(i int, res Result, start, end time.Time) {
+			mu.Lock()
+			defer mu.Unlock()
+			calls = append(calls, call{i: i, seed: res.Seed, start: start, end: end})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 3 {
+		t.Fatalf("OnJobDone ran %d times for 3 jobs", len(calls))
+	}
+	// Serial branch: jobs run in order, each bracketed by two consecutive
+	// clock ticks.
+	for k, c := range calls {
+		if c.i != k {
+			t.Fatalf("call %d reported job index %d", k, c.i)
+		}
+		if c.seed != int64(k+1) {
+			t.Fatalf("call %d carries result seed %d, want %d", k, c.seed, k+1)
+		}
+		if want := time.Duration(1) * time.Second; c.end.Sub(c.start) != want {
+			t.Fatalf("job %d timed at %v between consecutive ticks, want %v", k, c.end.Sub(c.start), want)
+		}
+		if k > 0 && !c.start.After(calls[k-1].end.Add(-time.Nanosecond)) {
+			t.Fatalf("serial jobs overlapped: %+v", calls)
+		}
+	}
+
+	// Parallel branch: same hooks, every job still reported exactly once
+	// with end after start.
+	calls = nil
+	parallel, err := Sweep(mkJobs(), Options{
+		Workers: 2,
+		Now:     clock.Now,
+		OnJobDone: func(i int, res Result, start, end time.Time) {
+			mu.Lock()
+			defer mu.Unlock()
+			calls = append(calls, call{i: i, start: start, end: end})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, c := range calls {
+		if seen[c.i] {
+			t.Fatalf("job %d reported twice", c.i)
+		}
+		seen[c.i] = true
+		if !c.end.After(c.start) {
+			t.Fatalf("job %d end %v not after start %v", c.i, c.end, c.start)
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("parallel hooks covered %d of 3 jobs", len(seen))
+	}
+
+	// No clock, no hook calls — and identical results, so the hooks are
+	// pure observation.
+	plain, err := Sweep(mkJobs(), Options{Workers: 1, OnJobDone: func(int, Result, time.Time, time.Time) {
+		t.Error("OnJobDone ran without a Now clock")
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i] != hooked[i] || plain[i] != parallel[i] {
+			t.Fatalf("timing hooks changed results: plain %+v hooked %+v parallel %+v",
+				plain[i], hooked[i], parallel[i])
+		}
+	}
+}

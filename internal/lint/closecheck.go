@@ -6,10 +6,12 @@ import (
 )
 
 // responseWriterPaths scope the streaming-handler rule: the packages whose
-// HTTP handlers stream NDJSON/proxied bodies row by row.
+// HTTP handlers stream NDJSON/proxied bodies or metric expositions row by
+// row.
 var responseWriterPaths = []string{
 	"odeproto/internal/service",
 	"odeproto/internal/cluster",
+	"odeproto/internal/obs",
 }
 
 // AnalyzerClosecheck flags dropped errors on the calls where "it worked"

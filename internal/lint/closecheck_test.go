@@ -5,3 +5,11 @@ import "testing"
 func TestClosecheckFixture(t *testing.T) {
 	runFixture(t, AnalyzerClosecheck, "closecheck", "odeproto/internal/service")
 }
+
+// TestClosecheckObsFixture pins the scope extension that rode in with the
+// metrics registry: internal/obs streams the /metrics exposition, so its
+// ResponseWriter writes are held to the same no-silently-dropped-error
+// rule as the service and cluster handlers.
+func TestClosecheckObsFixture(t *testing.T) {
+	runFixture(t, AnalyzerClosecheck, "closecheck_obs", "odeproto/internal/obs")
+}

@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// renderAllDropped is the shape the closecheck scope extension exists
+// for: a /metrics render loop that ignores write errors keeps formatting
+// families for a scraper that hung up, and silently truncates the
+// exposition mid-body.
+func renderAllDropped(w http.ResponseWriter, families []string) {
+	for _, name := range families {
+		fmt.Fprintf(w, "%s 0\n", name) // want `unchecked http\.ResponseWriter write inside a streaming loop`
+	}
+}
+
+// renderAllChecked is the accepted idiom: every write error surfaces to
+// the caller, so a dead scrape stops the render instead of being dropped.
+func renderAllChecked(w http.ResponseWriter, families []string) error {
+	for _, name := range families {
+		if _, err := fmt.Fprintf(w, "%s 0\n", name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+// Package obs is the daemon's flight recorder: a stdlib-only typed
+// metric registry rendered in the Prometheus text exposition format, job
+// traces with per-stage spans propagated across cluster forwards, and
+// log/slog helpers for the structured serving-path logs — one
+// observability layer shared by internal/service, internal/cluster,
+// internal/store, and cmd/odeprotod.
+//
+// # Registry
+//
+// A Registry holds metric families in three types:
+//
+//   - Counter: a monotonically increasing integer event count
+//     (requests, cache hits, WAL fsyncs). Counters only Add.
+//   - Gauge: a value that moves both ways (queue depth, bytes on disk,
+//     peer liveness). Func-backed gauges and counters are sampled at
+//     scrape time, so values that some other layer already tracks (the
+//     queue length, the WAL size) are exposed without double
+//     bookkeeping.
+//   - Histogram: fixed, cumulative buckets plus _sum and _count
+//     (latencies). Buckets are chosen at registration and never change,
+//     so scrapes from different nodes aggregate.
+//
+// Every metric reads back (Counter.Value, Gauge.Value, Histogram
+// snapshots), which is what lets /v1/stats be a thin view over the same
+// registry /metrics renders: the two surfaces cannot disagree because
+// there is only one set of numbers.
+//
+// # Cardinality rules
+//
+// Labels multiply time series, and an unbounded label value set is a
+// memory leak and a scrape-size explosion. The registry therefore only
+// accepts BOUNDED label sets, and enforces a hard per-family cap
+// (maxChildren) by panicking — loudly, at the introduction site — rather
+// than growing silently. The rule for choosing label values:
+//
+//   - enum-shaped values are fine: engine names, asyncnet modes, job
+//     statuses, lifecycle stages;
+//   - values fixed at boot are fine: the static cluster peer list;
+//   - anything request-derived is forbidden: job IDs, cache keys, trace
+//     IDs, client addresses, error strings. Those belong in logs and
+//     traces, never in metric labels.
+//
+// # Traces
+//
+// A trace is one job's correlatable trail: an ID minted at submit (or
+// inherited from the X-Odeproto-Trace header when a cluster peer already
+// minted one), carried across forwards, journaled in the WAL submit
+// record, and grown with timestamped per-stage spans
+// (queued → compiled → swept → persisted → responded). The service
+// serves a job's spans at GET /v1/jobs/{id}/trace and logs them as one
+// structured line at completion, so a forwarded job leaves the same
+// trace ID in every involved node's logs.
+package obs

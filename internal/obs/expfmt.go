@@ -1,0 +1,385 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the exposition format: a strict parser
+// for the text Render emits, used by the service, cluster, and daemon
+// tests (and the CI scrape gate) to validate /metrics output instead of
+// grepping for substrings.
+
+// MetricFamily is one parsed family: its metadata plus every sample line
+// that belongs to it.
+type MetricFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Sample is one parsed series line. For histograms, Name carries the
+// _bucket/_sum/_count suffix and bucket samples keep their le label.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Value returns the sample with the given full name and exact label set,
+// treating a nil map as empty.
+func (f *MetricFamily) Value(name string, labels map[string]string) (float64, bool) {
+	for _, s := range f.Samples {
+		if s.Name != name || len(s.Labels) != len(labels) {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if sv, ok := s.Labels[k]; !ok || sv != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// ParseExposition parses Prometheus text exposition format, validating
+// the structure Render promises: HELP/TYPE comment pairs, a known type,
+// every sample named after an announced family (histograms may only add
+// the _bucket/_sum/_count suffixes), and parseable values. It returns
+// families keyed by name.
+func ParseExposition(r io.Reader) (map[string]*MetricFamily, error) {
+	families := make(map[string]*MetricFamily)
+	var current *MetricFamily
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fam, err := parseComment(line, families)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if fam != nil {
+				current = fam
+			}
+			continue
+		}
+		if err := parseSample(line, current); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range families {
+		if f.Type == "" {
+			return nil, fmt.Errorf("family %s has HELP but no TYPE", f.Name)
+		}
+	}
+	return families, nil
+}
+
+func parseComment(line string, families map[string]*MetricFamily) (*MetricFamily, error) {
+	parts := strings.SplitN(line, " ", 4)
+	if len(parts) < 3 {
+		return nil, fmt.Errorf("malformed comment %q", line)
+	}
+	switch parts[1] {
+	case "HELP":
+		name := parts[2]
+		if !validMetricName(name) {
+			return nil, fmt.Errorf("invalid metric name %q in HELP", name)
+		}
+		if _, ok := families[name]; ok {
+			return nil, fmt.Errorf("family %s announced twice", name)
+		}
+		f := &MetricFamily{Name: name}
+		if len(parts) == 4 {
+			f.Help = unescapeHelp(parts[3])
+		}
+		families[name] = f
+		return f, nil
+	case "TYPE":
+		name := parts[2]
+		f, ok := families[name]
+		if !ok {
+			return nil, fmt.Errorf("TYPE for %s before its HELP", name)
+		}
+		if f.Type != "" {
+			return nil, fmt.Errorf("family %s typed twice", name)
+		}
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("TYPE line for %s missing a type", name)
+		}
+		switch parts[3] {
+		case "counter", "gauge", "histogram":
+			f.Type = parts[3]
+		default:
+			return nil, fmt.Errorf("family %s has unknown type %q", name, parts[3])
+		}
+		return f, nil
+	default:
+		// Other comments are legal in the format; Render never emits
+		// them, but tolerate rather than reject.
+		return nil, nil
+	}
+}
+
+func parseSample(line string, current *MetricFamily) error {
+	if current == nil {
+		return fmt.Errorf("sample %q before any family comment", line)
+	}
+	name, rest, err := splitSampleName(line)
+	if err != nil {
+		return err
+	}
+	if !sampleNameMatches(current, name) {
+		return fmt.Errorf("sample %s does not belong to family %s (type %s)", name, current.Name, current.Type)
+	}
+	labels, valueText, err := splitLabels(rest)
+	if err != nil {
+		return fmt.Errorf("sample %s: %w", name, err)
+	}
+	value, err := parseValue(valueText)
+	if err != nil {
+		return fmt.Errorf("sample %s: %w", name, err)
+	}
+	current.Samples = append(current.Samples, Sample{Name: name, Labels: labels, Value: value})
+	return nil
+}
+
+func sampleNameMatches(f *MetricFamily, name string) bool {
+	if name == f.Name && f.Type != "histogram" {
+		return true
+	}
+	if f.Type == "histogram" {
+		suffix := strings.TrimPrefix(name, f.Name)
+		return suffix == "_bucket" || suffix == "_sum" || suffix == "_count"
+	}
+	return false
+}
+
+func splitSampleName(line string) (name, rest string, err error) {
+	idx := strings.IndexAny(line, "{ ")
+	if idx <= 0 {
+		return "", "", fmt.Errorf("malformed sample line %q", line)
+	}
+	name = line[:idx]
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("invalid sample name %q", name)
+	}
+	return name, line[idx:], nil
+}
+
+// splitLabels parses the optional {..} block and returns the remaining
+// value text.
+func splitLabels(rest string) (map[string]string, string, error) {
+	if !strings.HasPrefix(rest, "{") {
+		return nil, strings.TrimSpace(rest), nil
+	}
+	labels := make(map[string]string)
+	s := rest[1:]
+	for {
+		s = strings.TrimLeft(s, " ,")
+		if strings.HasPrefix(s, "}") {
+			return labels, strings.TrimSpace(s[1:]), nil
+		}
+		eq := strings.Index(s, "=")
+		if eq <= 0 {
+			return nil, "", fmt.Errorf("malformed label block near %q", s)
+		}
+		lname := s[:eq]
+		if !validLabelName(lname) {
+			return nil, "", fmt.Errorf("invalid label name %q", lname)
+		}
+		if _, dup := labels[lname]; dup {
+			return nil, "", fmt.Errorf("label %s repeated", lname)
+		}
+		value, remainder, err := parseQuoted(s[eq+1:])
+		if err != nil {
+			return nil, "", err
+		}
+		labels[lname] = value
+		s = remainder
+	}
+}
+
+// parseQuoted consumes a double-quoted, backslash-escaped label value.
+func parseQuoted(s string) (value, rest string, err error) {
+	if !strings.HasPrefix(s, `"`) {
+		return "", "", fmt.Errorf("label value not quoted near %q", s)
+	}
+	var b strings.Builder
+	i := 1
+	for i < len(s) {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape in label value")
+			}
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c in label value", s[i+1])
+			}
+			i += 2
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+			i++
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+// unescapeHelp reverses Render's HELP escaping (\\ and \n).
+func unescapeHelp(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+func parseValue(s string) (float64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("missing value")
+	}
+	// Exposition allows a trailing timestamp; Render never emits one,
+	// but accept "value ts" shape for format fidelity.
+	if idx := strings.IndexByte(s, ' '); idx >= 0 {
+		s = s[:idx]
+	}
+	switch s {
+	case "+Inf", "-Inf", "NaN":
+		v, _ := strconv.ParseFloat(s, 64)
+		return v, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("unparseable value %q", s)
+	}
+	return v, nil
+}
+
+// CheckHistogram validates one histogram family: every series has
+// cumulative (monotone non-decreasing) buckets ending in a le="+Inf"
+// bucket equal to its _count, with a _sum present. It returns the names
+// of the label sets it validated, sorted, so callers can assert coverage.
+func CheckHistogram(f *MetricFamily) ([]string, error) {
+	if f.Type != "histogram" {
+		return nil, fmt.Errorf("family %s is a %s, not a histogram", f.Name, f.Type)
+	}
+	type series struct {
+		buckets []Sample
+		sum     *Sample
+		count   *Sample
+	}
+	byKey := make(map[string]*series)
+	keyOf := func(labels map[string]string) string {
+		parts := make([]string, 0, len(labels))
+		for k, v := range labels {
+			if k == "le" {
+				continue
+			}
+			parts = append(parts, k+"="+v)
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, ",")
+	}
+	get := func(labels map[string]string) *series {
+		k := keyOf(labels)
+		if byKey[k] == nil {
+			byKey[k] = &series{}
+		}
+		return byKey[k]
+	}
+	for i := range f.Samples {
+		s := f.Samples[i]
+		switch strings.TrimPrefix(s.Name, f.Name) {
+		case "_bucket":
+			get(s.Labels).buckets = append(get(s.Labels).buckets, s)
+		case "_sum":
+			get(s.Labels).sum = &f.Samples[i]
+		case "_count":
+			get(s.Labels).count = &f.Samples[i]
+		}
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ser := byKey[k]
+		if ser.sum == nil || ser.count == nil {
+			return nil, fmt.Errorf("%s{%s}: missing _sum or _count", f.Name, k)
+		}
+		if len(ser.buckets) == 0 {
+			return nil, fmt.Errorf("%s{%s}: no buckets", f.Name, k)
+		}
+		prev := -1.0
+		lastUpper := 0.0
+		lastCum := 0.0
+		for _, b := range ser.buckets {
+			le := b.Labels["le"]
+			upper, err := parseValue(le)
+			if le == "" || err != nil {
+				return nil, fmt.Errorf("%s{%s}: bucket without valid le label", f.Name, k)
+			}
+			if upper <= lastUpper && lastUpper != 0 {
+				return nil, fmt.Errorf("%s{%s}: bucket bounds not ascending", f.Name, k)
+			}
+			if b.Value < prev {
+				return nil, fmt.Errorf("%s{%s}: bucket counts not cumulative (le=%s: %v < %v)", f.Name, k, le, b.Value, prev)
+			}
+			prev = b.Value
+			lastUpper = upper
+			lastCum = b.Value
+		}
+		last := ser.buckets[len(ser.buckets)-1]
+		if last.Labels["le"] != "+Inf" {
+			return nil, fmt.Errorf("%s{%s}: final bucket is le=%q, want +Inf", f.Name, k, last.Labels["le"])
+		}
+		if lastCum != ser.count.Value {
+			return nil, fmt.Errorf("%s{%s}: +Inf bucket %v != _count %v", f.Name, k, lastCum, ser.count.Value)
+		}
+	}
+	return keys, nil
+}

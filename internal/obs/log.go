@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger returns a JSON slog logger writing to w, with the node name
+// attached to every record so multi-node logs interleave legibly. An
+// empty node is omitted.
+func NewLogger(w io.Writer, node string) *slog.Logger {
+	l := slog.New(slog.NewJSONHandler(w, nil))
+	if node != "" {
+		l = l.With("node", node)
+	}
+	return l
+}
+
+// NopLogger returns a logger that drops everything — the default when a
+// component is constructed without one, so call sites never nil-check.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}

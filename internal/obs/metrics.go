@@ -1,0 +1,465 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// maxChildren caps the label sets of one family. The registry only
+// accepts bounded label sets (see the package doc's cardinality rules);
+// hitting this cap means request-derived data leaked into a label, and
+// panicking at the introduction site beats growing without bound.
+const maxChildren = 1024
+
+// DefBuckets are the default latency buckets (seconds): sub-millisecond
+// cache hits through multi-minute sweeps.
+var DefBuckets = []float64{
+	0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// metricKind is the exposition TYPE of a family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+
+	// renderErrs counts Render failures surfaced through Handler — a
+	// scrape write error is not silently dropped, it is itself a metric.
+	renderErrs *Counter
+}
+
+// family is one registered metric name: its metadata plus its children
+// (one per label-value combination; exactly one for label-less metrics).
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu       sync.Mutex
+	children map[string]*child
+	keys     []string // sorted lazily at render
+
+	counterFn func() int64   // func-backed counter family (no labels)
+	gaugeFn   func() float64 // func-backed gauge family (no labels)
+}
+
+// child is one time series of a family.
+type child struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{families: make(map[string]*family)}
+	r.renderErrs = r.Counter("odeproto_metrics_render_errors_total",
+		"Failed /metrics renders (scrape write errors).")
+	return r
+}
+
+// register creates a family, panicking on invalid or duplicate names —
+// both are programmer errors at a fixed call site, never data-dependent.
+func (r *Registry) register(name, help string, kind metricKind, labels []string, buckets []float64) *family {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabelName(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %s", l, name))
+		}
+	}
+	if kind == kindHistogram {
+		if len(buckets) == 0 {
+			panic(fmt.Sprintf("obs: histogram %s has no buckets", name))
+		}
+		if !sort.Float64sAreSorted(buckets) {
+			panic(fmt.Sprintf("obs: histogram %s buckets are not ascending", name))
+		}
+		for _, l := range labels {
+			if l == "le" {
+				panic(fmt.Sprintf("obs: histogram %s reserves the le label", name))
+			}
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.families[name]; ok {
+		panic(fmt.Sprintf("obs: metric %s registered twice", name))
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: make(map[string]*child),
+	}
+	r.families[name] = f
+	return f
+}
+
+// childFor returns (creating on first use) the child for the given label
+// values. Callers must pass exactly one value per registered label, drawn
+// from a bounded set.
+func (f *family) childFor(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	if len(f.children) >= maxChildren {
+		panic(fmt.Sprintf("obs: metric %s exceeds %d label sets — an unbounded label value leaked in (see the package cardinality rules)", f.name, maxChildren))
+	}
+	c := &child{labelValues: append([]string(nil), values...)}
+	switch f.kind {
+	case kindCounter:
+		c.counter = &Counter{}
+	case kindGauge:
+		c.gauge = &Gauge{}
+	case kindHistogram:
+		c.hist = newHistogram(f.buckets)
+	}
+	f.children[key] = c
+	f.keys = append(f.keys, key)
+	return c
+}
+
+// Counter registers a label-less counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter, nil, nil).childFor(nil).counter
+}
+
+// CounterVec registers a counter family with labels.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, kindCounter, labels, nil)}
+}
+
+// CounterFunc registers a counter family whose value is sampled from fn
+// at scrape time — for monotonic totals another layer already tracks.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	r.register(name, help, kindCounter, nil, nil).counterFn = fn
+}
+
+// Gauge registers a label-less gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge, nil, nil).childFor(nil).gauge
+}
+
+// GaugeVec registers a gauge family with labels.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, kindGauge, labels, nil)}
+}
+
+// GaugeFunc registers a gauge family whose value is sampled from fn at
+// scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindGauge, nil, nil).gaugeFn = fn
+}
+
+// Histogram registers a label-less fixed-bucket histogram. Buckets are
+// upper bounds in ascending order; +Inf is implicit.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.register(name, help, kindHistogram, nil, buckets).childFor(nil).hist
+}
+
+// HistogramVec registers a histogram family with labels.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, buckets)}
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (one per label, in
+// registration order), creating it on first use.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.childFor(values).counter }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.childFor(values).gauge }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.childFor(values).hist }
+
+// Counter is a monotonically increasing integer event count.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative n panics (counters are monotonic by contract).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("obs: counter decremented")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that moves both ways, stored as float64 bits.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by d (d may be negative).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed cumulative buckets.
+type Histogram struct {
+	upper  []float64 // ascending upper bounds, excluding +Inf
+	counts []atomic.Int64
+	inf    atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	return &Histogram{upper: buckets, counts: make([]atomic.Int64, len(buckets))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v
+	if idx < len(h.counts) {
+		h.counts[idx].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var total int64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total + h.inf.Load()
+}
+
+// snapshot returns cumulative bucket counts (one per upper bound, then
+// +Inf) and the running sum. The cumulative counts come from one pass, so
+// within a snapshot they are monotone and the +Inf entry equals _count.
+func (h *Histogram) snapshot() (cum []int64, sum float64) {
+	cum = make([]int64, len(h.counts)+1)
+	var running int64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	cum[len(h.counts)] = running + h.inf.Load()
+	return cum, math.Float64frombits(h.sum.Load())
+}
+
+// Render writes every family in the text exposition format, families
+// sorted by name and series by label values, so scrapes are
+// deterministic. Every write error is returned: a scrape that hangs up
+// mid-body must surface, not truncate silently.
+func (r *Registry) Render(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		if err := f.render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves GET /metrics from the registry. Render errors are
+// counted (odeproto_metrics_render_errors_total) — by the time a write
+// fails the status line is long gone, so the counter and the caller's
+// logs are where the failure surfaces.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.Render(w); err != nil {
+			r.renderErrs.Inc()
+		}
+	})
+}
+
+func (f *family) render(w io.Writer) error {
+	f.mu.Lock()
+	sort.Strings(f.keys)
+	kids := make([]*child, 0, len(f.keys))
+	for _, k := range f.keys {
+		kids = append(kids, f.children[k])
+	}
+	counterFn, gaugeFn := f.counterFn, f.gaugeFn
+	f.mu.Unlock()
+	// A vec with no series yet still announces its HELP/TYPE header:
+	// scrapers (and the CI required-families gate) see every registered
+	// family from boot, not only the ones traffic has touched.
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	if counterFn != nil {
+		_, err := fmt.Fprintf(w, "%s %d\n", f.name, counterFn())
+		return err
+	}
+	if gaugeFn != nil {
+		_, err := fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(gaugeFn()))
+		return err
+	}
+	for _, c := range kids {
+		if err := f.renderChild(w, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) renderChild(w io.Writer, c *child) error {
+	base := labelString(f.labels, c.labelValues, "", "")
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, base, c.counter.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, base, formatFloat(c.gauge.Value()))
+		return err
+	case kindHistogram:
+		cum, sum := c.hist.snapshot()
+		for i, upper := range c.hist.upper {
+			le := labelString(f.labels, c.labelValues, "le", formatFloat(upper))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, le, cum[i]); err != nil {
+				return err
+			}
+		}
+		le := labelString(f.labels, c.labelValues, "le", "+Inf")
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, le, cum[len(cum)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, base, formatFloat(sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, base, cum[len(cum)-1])
+		return err
+	}
+	return nil
+}
+
+// labelString renders {a="x",b="y"} (plus an optional extra pair, for
+// histogram le), or "" for a label-less series.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}

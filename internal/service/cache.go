@@ -3,6 +3,8 @@ package service
 import (
 	"container/list"
 	"sync"
+
+	"odeproto/internal/obs"
 )
 
 // resultCache is the content-addressed result store: an LRU map from
@@ -16,8 +18,10 @@ type resultCache struct {
 	order   *list.List // front = most recently used
 	entries map[string]*list.Element
 
-	hits   int64
-	misses int64
+	// hits/misses live in the obs registry (odeproto_cache_hits_total /
+	// _misses_total); the stats() snapshot reads the same counters.
+	hits   *obs.Counter
+	misses *obs.Counter
 }
 
 type cacheEntry struct {
@@ -25,7 +29,7 @@ type cacheEntry struct {
 	res *JobResult
 }
 
-func newResultCache(max int) *resultCache {
+func newResultCache(max int, hits, misses *obs.Counter) *resultCache {
 	if max < 1 {
 		max = 1
 	}
@@ -33,6 +37,8 @@ func newResultCache(max int) *resultCache {
 		max:     max,
 		order:   list.New(),
 		entries: make(map[string]*list.Element),
+		hits:    hits,
+		misses:  misses,
 	}
 }
 
@@ -43,10 +49,10 @@ func (c *resultCache) get(key string) (*JobResult, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
-		c.misses++
+		c.misses.Inc()
 		return nil, false
 	}
-	c.hits++
+	c.hits.Inc()
 	c.order.MoveToFront(el)
 	return el.Value.(*cacheEntry).res, true
 }
@@ -94,5 +100,5 @@ type CacheStats struct {
 func (c *resultCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Size: c.order.Len(), Max: c.max, Hits: c.hits, Misses: c.misses}
+	return CacheStats{Size: c.order.Len(), Max: c.max, Hits: c.hits.Value(), Misses: c.misses.Value()}
 }

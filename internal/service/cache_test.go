@@ -3,10 +3,12 @@ package service
 import (
 	"strings"
 	"testing"
+
+	"odeproto/internal/obs"
 )
 
 func TestResultCacheLRU(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, &obs.Counter{}, &obs.Counter{})
 	r1, r2, r3 := &JobResult{}, &JobResult{}, &JobResult{}
 	c.put("a", r1)
 	c.put("b", r2)

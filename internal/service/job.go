@@ -9,6 +9,7 @@ import (
 
 	"odeproto/internal/asyncnet"
 	"odeproto/internal/harness"
+	"odeproto/internal/obs"
 	"odeproto/internal/ode"
 	"odeproto/internal/sim"
 	"odeproto/internal/store"
@@ -68,8 +69,27 @@ type Job struct {
 	finished time.Time
 	cancel   context.CancelFunc
 
+	// trace is the job's lifecycle trail (internally synchronized; nil
+	// only for jobs recovered from WAL records that predate tracing).
+	trace *obs.Trace
+
 	rows *rowBuffer
 	done chan struct{}
+}
+
+// traceID returns the job's trace ID, or "" for pre-trace recovered jobs.
+func (j *Job) traceID() string {
+	if j.trace == nil {
+		return ""
+	}
+	return j.trace.ID
+}
+
+// traceAdd records a lifecycle stage, if the job carries a trace.
+func (j *Job) traceAdd(stage string) {
+	if j.trace != nil {
+		j.trace.Add(stage, time.Now())
+	}
 }
 
 // JobStatus is the wire form of GET /v1/jobs/{id} (and each element of
@@ -95,6 +115,9 @@ type JobStatus struct {
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
 	Result   *JobResult `json:"result,omitempty"`
+	// Trace is the job's trace ID (X-Odeproto-Trace); empty only for
+	// jobs recovered from WAL records written before tracing existed.
+	Trace string `json:"trace,omitempty"`
 }
 
 // statusLocked assembles the wire status; callers hold j.mu.
@@ -113,6 +136,7 @@ func (j *Job) statusLocked(includeResult bool) JobStatus {
 		Shards:   j.spec.Shards,
 		Rows:     j.rows.snapshotLen(),
 		Created:  j.created,
+		Trace:    j.traceID(),
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -271,8 +295,17 @@ func (s *Server) execute(ctx context.Context, job *Job) (*JobResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.sweeps.Add(1)
-	results, err := harness.SweepContext(ctx, jobs, harness.Options{Workers: s.cfg.SweepWorkers})
+	s.met.sweeps.Inc()
+	opts := harness.Options{
+		Workers: s.cfg.SweepWorkers,
+		// The harness never reads the wall clock itself (determinism
+		// contract); the service supplies it for latency observation.
+		Now: time.Now,
+		OnJobDone: func(i int, res harness.Result, start, end time.Time) {
+			s.observeSweepLatency(spec.Engine, spec.Mode, end.Sub(start))
+		},
+	}
+	results, err := harness.SweepContext(ctx, jobs, opts)
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
@@ -328,11 +361,15 @@ func (s *Server) runJob(job *Job) {
 			job.status = StatusRunning
 			job.started = time.Now()
 			job.mu.Unlock()
-			s.journal(store.JobRecord{Op: store.OpRunning, ID: job.ID, Key: key, StartedAt: job.started.UnixNano()})
+			s.met.queueWait.Observe(job.started.Sub(job.created).Seconds())
+			s.journal(store.JobRecord{Op: store.OpRunning, ID: job.ID, Key: key, Trace: job.traceID(),
+				StartedAt: job.started.UnixNano()})
 			fillRowsFromResult(job.rows, res)
 			job.finish(StatusDone, res, "", true)
-			s.journal(store.JobRecord{Op: store.OpDone, ID: job.ID, Key: key, Cached: true,
+			job.traceAdd(obs.StageResponded)
+			s.journal(store.JobRecord{Op: store.OpDone, ID: job.ID, Key: key, Cached: true, Trace: job.traceID(),
 				FinishedAt: time.Now().UnixNano()})
+			s.logCompletion(job)
 			s.dropInflight(job)
 			return
 		}
@@ -343,37 +380,44 @@ func (s *Server) runJob(job *Job) {
 	job.cancel = cancel
 	job.mu.Unlock()
 	defer cancel()
+	s.met.queueWait.Observe(job.started.Sub(job.created).Seconds())
 	// Every worker record stamps the key: if a crash loses the submitter
 	// and its OpSubmitted append raced, the recovered job still knows its
 	// content address and can reload its persisted result.
-	s.journal(store.JobRecord{Op: store.OpRunning, ID: job.ID, Key: key, StartedAt: job.started.UnixNano()})
+	s.journal(store.JobRecord{Op: store.OpRunning, ID: job.ID, Key: key, Trace: job.traceID(),
+		StartedAt: job.started.UnixNano()})
 
 	res, err := s.execute(ctx, job)
 	switch {
 	case err == nil:
+		job.traceAdd(obs.StageSwept)
 		if cacheable {
 			if perr := s.persistResult(key, res); perr != nil {
 				// Durability is part of "done": a result that cannot be
 				// stored fails the job rather than silently losing the
 				// crash-recovery guarantee.
 				job.finish(StatusFailed, nil, perr.Error(), false)
-				s.journal(store.JobRecord{Op: store.OpFailed, ID: job.ID, Key: key,
+				s.journal(store.JobRecord{Op: store.OpFailed, ID: job.ID, Key: key, Trace: job.traceID(),
 					Error: perr.Error(), FinishedAt: time.Now().UnixNano()})
 				break
 			}
 			s.cache.put(key, res)
+			job.traceAdd(obs.StagePersisted)
 		}
 		job.finish(StatusDone, res, "", false)
-		s.journal(store.JobRecord{Op: store.OpDone, ID: job.ID, Key: key, FinishedAt: time.Now().UnixNano()})
+		s.journal(store.JobRecord{Op: store.OpDone, ID: job.ID, Key: key, Trace: job.traceID(),
+			FinishedAt: time.Now().UnixNano()})
 	case ctx.Err() != nil:
 		job.finish(StatusCancelled, nil, "job cancelled", false)
-		s.journal(store.JobRecord{Op: store.OpAborted, ID: job.ID, Key: key,
+		s.journal(store.JobRecord{Op: store.OpAborted, ID: job.ID, Key: key, Trace: job.traceID(),
 			Error: "job cancelled", FinishedAt: time.Now().UnixNano()})
 	default:
 		job.finish(StatusFailed, nil, err.Error(), false)
-		s.journal(store.JobRecord{Op: store.OpFailed, ID: job.ID, Key: key,
+		s.journal(store.JobRecord{Op: store.OpFailed, ID: job.ID, Key: key, Trace: job.traceID(),
 			Error: err.Error(), FinishedAt: time.Now().UnixNano()})
 	}
+	job.traceAdd(obs.StageResponded)
+	s.logCompletion(job)
 	s.dropInflight(job)
 }
 
@@ -420,9 +464,11 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 		job.errMsg = "job cancelled before it started"
 		job.finished = time.Now()
 		job.mu.Unlock()
+		job.traceAdd(obs.StageResponded)
 		job.completeStream(StatusCancelled)
-		s.journal(store.JobRecord{Op: store.OpAborted, ID: job.ID, Key: job.Key,
+		s.journal(store.JobRecord{Op: store.OpAborted, ID: job.ID, Key: job.Key, Trace: job.traceID(),
 			Error: "job cancelled before it started", FinishedAt: time.Now().UnixNano()})
+		s.logCompletion(job)
 		s.dropInflight(job)
 		return job.Snapshot(false), nil
 	case StatusRunning:

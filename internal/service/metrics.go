@@ -1,0 +1,78 @@
+package service
+
+import (
+	"time"
+
+	"odeproto/internal/obs"
+)
+
+// serviceMetrics is every counter the service maintains, held in the
+// shared obs registry. /v1/stats reads these same values back
+// (Server.stats), so the JSON stats and the /metrics exposition cannot
+// disagree.
+type serviceMetrics struct {
+	submitted    *obs.Counter
+	coalesced    *obs.Counter
+	sweeps       *obs.Counter
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	diskHits     *obs.Counter
+	storeErrs    *obs.Counter
+	queueWait    *obs.Histogram
+	sweepLatency *obs.HistogramVec
+}
+
+func newServiceMetrics(r *obs.Registry) *serviceMetrics {
+	return &serviceMetrics{
+		submitted: r.Counter("odeproto_jobs_submitted_total",
+			"Jobs accepted by submit (including cache hits; excluding coalesced twins and rejections)."),
+		coalesced: r.Counter("odeproto_jobs_coalesced_total",
+			"Submissions answered by an identical in-flight job (single-flight dedup)."),
+		sweeps: r.Counter("odeproto_sweeps_executed_total",
+			"Sweeps actually simulated (cache hits do not count)."),
+		cacheHits: r.Counter("odeproto_cache_hits_total",
+			"Result-cache lookups answered from the in-memory LRU."),
+		cacheMisses: r.Counter("odeproto_cache_misses_total",
+			"Result-cache lookups that missed the LRU (disk hits also count here)."),
+		diskHits: r.Counter("odeproto_result_disk_hits_total",
+			"LRU misses answered from the durable result store."),
+		storeErrs: r.Counter("odeproto_store_errors_total",
+			"Store faults absorbed by the service (failed WAL appends, unreadable result blobs)."),
+		queueWait: r.Histogram("odeproto_queue_wait_seconds",
+			"Time jobs spent queued before a worker picked them up.", obs.DefBuckets),
+		sweepLatency: r.HistogramVec("odeproto_sweep_latency_seconds",
+			"Per-run sweep execution latency, by engine and asyncnet mode (mode is empty for the synchronous engines).",
+			obs.DefBuckets, "engine", "mode"),
+	}
+}
+
+// registerGauges wires the scrape-time-sampled families that read state
+// another structure already owns (queue, cache, startup counters) —
+// exposed without double bookkeeping.
+func (s *Server) registerGauges(r *obs.Registry) {
+	r.GaugeFunc("odeproto_queue_depth",
+		"Jobs waiting in the bounded queue.",
+		func() float64 { return float64(len(s.queue)) })
+	r.GaugeFunc("odeproto_queue_capacity",
+		"Capacity of the bounded job queue.",
+		func() float64 { return float64(s.cfg.QueueDepth) })
+	r.GaugeFunc("odeproto_cache_size",
+		"Results currently held by the in-memory LRU.",
+		func() float64 { return float64(s.cache.stats().Size) })
+	r.GaugeFunc("odeproto_cache_capacity",
+		"Capacity of the in-memory result LRU.",
+		func() float64 { return float64(s.cfg.CacheSize) })
+	r.GaugeFunc("odeproto_warmed_results",
+		"Results loaded from disk into the LRU at startup.",
+		func() float64 { return float64(s.warmed) })
+	r.GaugeFunc("odeproto_resumed_jobs",
+		"Interrupted jobs the daemon resubmitted itself at startup.",
+		func() float64 { return float64(s.resumed) })
+}
+
+// observeSweepLatency records one run's wall-clock duration under the
+// job's engine+mode series. Engine names and modes are validated enums
+// (spec.normalize), so the label set is bounded.
+func (s *Server) observeSweepLatency(engine, mode string, d time.Duration) {
+	s.met.sweepLatency.With(engine, mode).Observe(d.Seconds())
+}

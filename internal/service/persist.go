@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"odeproto/internal/obs"
 	"odeproto/internal/store"
 )
 
@@ -18,7 +19,8 @@ import (
 // result that cannot be stored fails its job instead of claiming done).
 func (s *Server) journal(rec store.JobRecord) {
 	if err := s.store.Append(rec); err != nil {
-		s.storeErrs.Add(1)
+		s.met.storeErrs.Inc()
+		s.log.Warn("wal append failed", "job", rec.ID, "op", string(rec.Op), "trace", rec.Trace, "err", err)
 	}
 }
 
@@ -59,16 +61,18 @@ func (s *Server) resultFromStore(key string) (*JobResult, bool) {
 		// A plain miss is normal; an I/O failure or a blob the WAL claims
 		// exists but cannot be read is a store fault worth counting.
 		if !errors.Is(err, store.ErrNotFound) {
-			s.storeErrs.Add(1)
+			s.met.storeErrs.Inc()
+			s.log.Warn("result blob unreadable", "key", key, "err", err)
 		}
 		return nil, false
 	}
 	res := new(JobResult)
 	if err := json.Unmarshal(data, res); err != nil {
-		s.storeErrs.Add(1) // corrupt blob
+		s.met.storeErrs.Inc() // corrupt blob
+		s.log.Warn("result blob corrupt", "key", key, "err", err)
 		return nil, false
 	}
-	s.diskHits.Add(1)
+	s.met.diskHits.Inc()
 	s.cache.put(key, res)
 	return res, true
 }
@@ -145,6 +149,18 @@ func (s *Server) recoverJobs() []restartableJob {
 	var restartable []restartableJob
 	for _, rj := range recovered {
 		job := &Job{ID: rj.ID, Key: rj.Key, rows: newRowBuffer(), done: make(chan struct{})}
+		if obs.ValidTraceID(rj.Trace) {
+			// Rebuild an approximate trail from the journaled timestamps:
+			// the per-stage spans died with the previous process, but the
+			// ID (and thus cross-node correlation) survives.
+			job.trace = obs.NewTrace(rj.Trace, s.cfg.Node)
+			if rj.SubmittedAt != 0 {
+				job.trace.Add(obs.StageQueued, time.Unix(0, rj.SubmittedAt))
+			}
+			if rj.FinishedAt != 0 {
+				job.trace.Add(obs.StageResponded, time.Unix(0, rj.FinishedAt))
+			}
+		}
 		specOK := false
 		if len(rj.Spec) > 0 {
 			specOK = json.Unmarshal(rj.Spec, &job.spec) == nil
@@ -191,6 +207,8 @@ func (s *Server) recoverJobs() []restartableJob {
 		}
 	}
 	s.nextID = maxID
+	s.log.Info("recovered jobs from store", "jobs", len(recovered),
+		"warmed_results", s.warmed, "restartable", len(restartable))
 	return restartable
 }
 
@@ -211,6 +229,8 @@ func (s *Server) resumeInterrupted(restartable []restartableJob) {
 			continue
 		}
 		s.resumed++
+		s.log.Info("resubmitted interrupted job", "job", r.job.ID,
+			"resubmitted_as", next.ID, "trace", next.traceID())
 		r.job.mu.Lock()
 		r.job.errMsg = fmt.Sprintf("interrupted by daemon restart; resubmitted as %s", next.ID)
 		r.job.mu.Unlock()
@@ -290,7 +310,8 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no result for key %q", key))
 		return
 	default:
-		s.storeErrs.Add(1)
+		s.met.storeErrs.Inc()
+		s.log.Warn("result blob unreadable", "key", key, "err", err)
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("reading result %q: %w", key, err))
 		return
 	}

@@ -43,12 +43,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"odeproto/internal/obs"
 	"odeproto/internal/store"
 )
 
@@ -84,6 +86,17 @@ type Config struct {
 	// empty and keep the historical format. Recovery strips the same
 	// prefix when continuing the ID sequence past recovered jobs.
 	JobIDPrefix string
+	// Metrics is the obs registry every service counter lives in —
+	// /v1/stats reads the same values /metrics renders. nil gets a
+	// private registry (the metrics still exist, just unscraped).
+	Metrics *obs.Registry
+	// Logger receives the structured serving-path log (submissions,
+	// completions with their trace, store faults). nil discards.
+	Logger *slog.Logger
+	// Node names this daemon in traces and log records (a cluster
+	// front-end passes the node's self address; standalone daemons may
+	// leave it empty).
+	Node string
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +127,12 @@ func (c Config) withDefaults() Config {
 	if c.Store == nil {
 		c.Store = store.NewMemory()
 	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
+	}
 	return c
 }
 
@@ -138,12 +157,11 @@ type Server struct {
 	closeOnce  sync.Once
 	closed     atomic.Bool
 
-	sweeps    atomic.Int64
-	coalesced atomic.Int64
-	diskHits  atomic.Int64
-	storeErrs atomic.Int64
-	warmed    int // results loaded from disk into the LRU at startup
-	resumed   int // interrupted jobs auto-resubmitted at startup
+	met     *serviceMetrics
+	reg     *obs.Registry
+	log     *slog.Logger
+	warmed  int // results loaded from disk into the LRU at startup
+	resumed int // interrupted jobs auto-resubmitted at startup
 }
 
 var errNotFound = errors.New("job not found")
@@ -153,16 +171,22 @@ var errNotFound = errors.New("job not found")
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	met := newServiceMetrics(cfg.Metrics)
 	s := &Server{
 		cfg:        cfg,
-		cache:      newResultCache(cfg.CacheSize),
+		cache:      newResultCache(cfg.CacheSize, met.cacheHits, met.cacheMisses),
 		store:      cfg.Store,
 		jobs:       make(map[string]*Job),
 		inflight:   make(map[string]*Job),
 		queue:      make(chan *Job, cfg.QueueDepth),
 		baseCtx:    ctx,
 		baseCancel: cancel,
+		met:        met,
+		reg:        cfg.Metrics,
+		log:        cfg.Logger,
 	}
+	s.registerGauges(cfg.Metrics)
+	store.RegisterMetrics(cfg.Metrics, s.store)
 	restartable := s.recoverJobs()
 	if cfg.ResumeInterrupted {
 		s.resumeInterrupted(restartable)
@@ -195,9 +219,11 @@ func (s *Server) Close() {
 				job.errMsg = "service shut down before the job started"
 				job.finished = time.Now()
 				job.mu.Unlock()
+				job.traceAdd(obs.StageResponded)
 				job.completeStream(StatusCancelled)
-				s.journal(store.JobRecord{Op: store.OpAborted, ID: job.ID, Key: job.Key,
+				s.journal(store.JobRecord{Op: store.OpAborted, ID: job.ID, Key: job.Key, Trace: job.traceID(),
 					Error: "service shut down before the job started", FinishedAt: time.Now().UnixNano()})
+				s.logCompletion(job)
 				s.dropInflight(job)
 			default:
 				return
@@ -209,7 +235,11 @@ func (s *Server) Close() {
 // SweepsExecuted reports how many sweeps actually simulated (cache hits
 // do not count) — the run counter the cache tests and the determinism
 // acceptance test key on.
-func (s *Server) SweepsExecuted() int64 { return s.sweeps.Load() }
+func (s *Server) SweepsExecuted() int64 { return s.met.sweeps.Value() }
+
+// Metrics returns the registry the service records into (the one Config
+// supplied, or the private default).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // job looks up a job by ID.
 func (s *Server) job(id string) (*Job, bool) {
@@ -225,13 +255,25 @@ func (s *Server) job(id string) (*Job, bool) {
 // deduplication); everything else is enqueued. A full queue returns an
 // error that the HTTP layer maps to 503.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	return s.submitTraced(spec, "")
+}
+
+// submitTraced is Submit with an inherited trace ID (empty or malformed
+// IDs mint a fresh one) — the HTTP layer passes the X-Odeproto-Trace
+// header through here so a forwarded job keeps the ID the first node
+// minted.
+func (s *Server) submitTraced(spec JobSpec, traceID string) (*Job, error) {
 	if s.closed.Load() {
 		return nil, errQueueFull
 	}
+	tr := obs.NewTrace(traceID, s.cfg.Node)
+	created := time.Now()
+	tr.Add(obs.StageQueued, created)
 	comp, err := spec.normalize(s.cfg.Limits)
 	if err != nil {
 		return nil, &inputError{err}
 	}
+	tr.Add(obs.StageCompiled, time.Now())
 	key := spec.cacheKey(comp)
 
 	job := &Job{
@@ -239,7 +281,8 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		spec:    spec,
 		comp:    comp,
 		status:  StatusQueued,
-		created: time.Now(),
+		created: created,
+		trace:   tr,
 		rows:    newRowBuffer(),
 		done:    make(chan struct{}),
 	}
@@ -251,14 +294,17 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 			job.cached = true
 			job.started = job.created
 			job.finished = time.Now()
+			tr.Add(obs.StageResponded, job.finished)
 			job.rows.replayResult(res, StatusDone)
 			close(job.done)
 			s.register(job)
+			s.met.submitted.Inc()
 			// One snapshot-style record, not a submitted/done pair: this is
 			// the hot path (no sweep runs), and each append is an fsync.
 			s.journal(store.JobRecord{Op: store.OpDone, ID: job.ID, Key: key,
-				Spec: specJSON(&spec), Cached: true,
+				Spec: specJSON(&spec), Cached: true, Trace: tr.ID,
 				SubmittedAt: job.created.UnixNano(), FinishedAt: job.finished.UnixNano()})
+			s.logCompletion(job)
 			return job, nil
 		}
 	}
@@ -280,7 +326,9 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 			twin.mu.Unlock()
 			if live {
 				s.mu.Unlock()
-				s.coalesced.Add(1)
+				s.met.coalesced.Inc()
+				s.log.Info("job coalesced onto in-flight twin",
+					"trace", tr.ID, "twin", twin.ID, "twin_trace", twin.traceID(), "key", key)
 				return twin, nil
 			}
 		}
@@ -306,8 +354,11 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	// The worker's own records may interleave before this one; WAL replay
 	// merges by rank, and the worker stamps the key on every record, so
 	// even a crash that loses this append leaves the result reachable.
+	s.met.submitted.Inc()
 	s.journal(store.JobRecord{Op: store.OpSubmitted, ID: job.ID, Key: key,
-		Spec: specJSON(&spec), SubmittedAt: job.created.UnixNano()})
+		Spec: specJSON(&spec), Trace: tr.ID, SubmittedAt: job.created.UnixNano()})
+	s.log.Info("job queued", "trace", tr.ID, "job", job.ID, "key", key,
+		"engine", spec.Engine, "mode", spec.Mode, "n", spec.N, "periods", spec.Periods, "seeds", spec.Seeds)
 	return job, nil
 }
 
@@ -370,18 +421,21 @@ type Stats struct {
 // /v1/stats).
 func (s *Server) Stats() Stats { return s.stats() }
 
+// stats assembles the /v1/stats body as a thin view over the obs
+// registry: every counter below is the same Counter /metrics renders, so
+// the two surfaces cannot disagree.
 func (s *Server) stats() Stats {
 	st := Stats{
 		Jobs:           make(map[Status]int),
 		QueueCapacity:  s.cfg.QueueDepth,
 		Workers:        s.cfg.Workers,
-		SweepsExecuted: s.sweeps.Load(),
-		CoalescedJobs:  s.coalesced.Load(),
+		SweepsExecuted: s.met.sweeps.Value(),
+		CoalescedJobs:  s.met.coalesced.Value(),
 		Cache:          s.cache.stats(),
-		ResultDiskHits: s.diskHits.Load(),
+		ResultDiskHits: s.met.diskHits.Value(),
 		WarmedResults:  s.warmed,
 		ResumedJobs:    s.resumed,
-		StoreErrors:    s.storeErrs.Load(),
+		StoreErrors:    s.met.storeErrs.Value(),
 		Store:          s.store.Stats(),
 	}
 	s.mu.Lock()
@@ -409,8 +463,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/jobs/{id}/figure.svg", s.handleFigure)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -458,7 +514,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, err := s.Submit(spec)
+	job, err := s.submitTraced(spec, r.Header.Get(obs.TraceHeader))
 	switch {
 	case err == nil:
 	case errors.Is(err, errQueueFull):
@@ -474,6 +530,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := job.Snapshot(false)
+	if st.Trace != "" {
+		w.Header().Set(obs.TraceHeader, st.Trace)
+	}
 	status := http.StatusAccepted
 	if st.Status == StatusDone {
 		status = http.StatusOK // served from cache, no work pending

@@ -152,6 +152,9 @@ func (s *FileStore) apply(rec JobRecord) {
 	if rec.FinishedAt != 0 {
 		j.FinishedAt = rec.FinishedAt
 	}
+	if rec.Trace != "" {
+		j.Trace = rec.Trace
+	}
 }
 
 // Append journals one lifecycle transition: framed, CRC'd, written, and
@@ -349,6 +352,7 @@ func (s *FileStore) Compact() error {
 			SubmittedAt: j.SubmittedAt,
 			StartedAt:   j.StartedAt,
 			FinishedAt:  j.FinishedAt,
+			Trace:       j.Trace,
 		})
 	}
 	if err := s.wal.compact(recs); err != nil {

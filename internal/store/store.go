@@ -71,6 +71,9 @@ type JobRecord struct {
 	SubmittedAt int64 `json:"submitted_at,omitempty"`
 	StartedAt   int64 `json:"started_at,omitempty"`
 	FinishedAt  int64 `json:"finished_at,omitempty"`
+	// Trace is the job's trace ID (internal/obs), journaled so a
+	// recovered job keeps its cross-node correlation handle.
+	Trace string `json:"trace,omitempty"`
 }
 
 // RecoveredJob is one job's state as rebuilt from the WAL at Open time.
@@ -85,6 +88,9 @@ type RecoveredJob struct {
 	SubmittedAt int64
 	StartedAt   int64
 	FinishedAt  int64
+
+	// Trace is the job's trace ID, from whichever record stamped one.
+	Trace string
 
 	// Interrupted marks a job whose WAL ends before a terminal record: it
 	// was queued or mid-run when the previous process died.
