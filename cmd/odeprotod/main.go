@@ -28,10 +28,13 @@
 //
 //	odeprotod -addr :8080 -peers host1:8080,host2:8080,host3:8080 -self host1:8080
 //
-// Observability (README.md "Observability"): Prometheus-format metrics at
-// GET /metrics, per-job lifecycle traces at GET /v1/jobs/{id}/trace, JSON
-// structured logs on stderr, and — with -debug-addr — net/http/pprof and
-// expvar on a separate listener kept off the public port.
+// Observability (README.md "Observability"): Prometheus-format metrics
+// with per-bucket trace-ID exemplars at GET /metrics, per-job lifecycle
+// traces at GET /v1/jobs/{id}/trace (rendered as a waterfall SVG at
+// /trace.svg), burn-rate SLO evaluation at GET /v1/slo (spec via
+// -slo-config, sensible defaults compiled in), JSON structured logs on
+// stderr filtered by -log-level, and — with -debug-addr — net/http/pprof
+// and expvar on a separate listener kept off the public port.
 //
 // Quick tour (see README.md "Running the service" for the full schema):
 //
@@ -145,12 +148,31 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		peersFlag      = fs.String("peers", "", "comma-separated static cluster peer list (host:port, this node included); every node must be started with the identical list")
 		selfFlag       = fs.String("self", "", "this node's entry in -peers (default: inferred from the bound listen address)")
 		debugAddr      = fs.String("debug-addr", "", "serve net/http/pprof and expvar on this separate address (empty = off); never expose it publicly")
+		logLevel       = fs.String("log-level", "info", "minimum structured-log level: debug, info, warn, or error")
+		sloConfig      = fs.String("slo-config", "", "JSON SLO spec evaluated into GET /v1/slo and odeproto_slo_* gauges (empty = compiled-in job latency + error-rate defaults)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // usage already printed; exit 0 like the old flag.Parse behavior
 		}
 		return err
+	}
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	var slo *service.SLOConfig
+	if *sloConfig != "" {
+		data, err := os.ReadFile(*sloConfig)
+		if err != nil {
+			return fmt.Errorf("reading -slo-config: %w", err)
+		}
+		cfg, err := service.ParseSLOConfig(data)
+		if err != nil {
+			return fmt.Errorf("parsing -slo-config %s: %w", *sloConfig, err)
+		}
+		slo = &cfg
 	}
 
 	// Listen before building the service: cluster membership infers this
@@ -187,7 +209,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		node = ln.Addr().String()
 	}
 	reg := obs.NewRegistry()
-	logger := obs.NewLogger(os.Stderr, node)
+	logger := obs.NewLeveledLogger(os.Stderr, node, level)
 
 	// Accept connections immediately, answering 503 "recovering" until
 	// the store has replayed its WAL and the service is built; then the
@@ -243,6 +265,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		Metrics:           reg,
 		Logger:            logger,
 		Node:              node,
+		SLO:               slo,
 	})
 	defer srv.Close()
 

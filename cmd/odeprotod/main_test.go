@@ -613,10 +613,16 @@ func TestClusterEndToEnd(t *testing.T) {
 		"odeproto_store_results_written_total",
 		"odeproto_cluster_owner_local_total",
 		"odeproto_cluster_forwarded_total",
+		"odeproto_cluster_forward_latency_seconds",
 		"odeproto_cluster_peer_alive",
 		"odeproto_metrics_render_errors_total",
+		"odeproto_jobs_rejected_total",
+		"odeproto_job_duration_seconds",
+		"odeproto_slo_state",
+		"odeproto_slo_burn_rate",
 	}
 	var metricSweeps float64
+	exemplarTraces := make(map[string]struct{})
 	for i, base := range bases {
 		resp, err := http.Get(base + "/metrics")
 		if err != nil {
@@ -638,8 +644,15 @@ func TestClusterEndToEnd(t *testing.T) {
 		}
 		for _, fam := range fams {
 			if fam.Type == "histogram" {
+				// CheckHistogram also validates every exemplar: in-bucket
+				// value, well-formed trace ID.
 				if _, err := obs.CheckHistogram(fam); err != nil {
 					t.Errorf("node %d %s: %v", i, fam.Name, err)
+				}
+				for _, s := range fam.Samples {
+					if s.Exemplar != nil {
+						exemplarTraces[s.Exemplar.Labels["trace_id"]] = struct{}{}
+					}
 				}
 			}
 		}
@@ -653,6 +666,69 @@ func TestClusterEndToEnd(t *testing.T) {
 	if metricSweeps != float64(sweeps) {
 		t.Fatalf("/metrics counts %g sweeps cluster-wide, /v1/stats counted %d", metricSweeps, sweeps)
 	}
+
+	// Every exemplar scraped anywhere in the cluster must resolve: its
+	// trace ID belongs to a known job whose trace endpoint serves the
+	// same ID, from any node.
+	if len(exemplarTraces) == 0 {
+		t.Fatal("no histogram bucket anywhere in the cluster carries an exemplar")
+	}
+	traceToJob := make(map[string]string)
+	for i, base := range bases {
+		var list []service.JobStatus
+		if code := getJSON(t, base+"/v1/jobs", &list); code != http.StatusOK {
+			t.Fatalf("GET jobs via node %d: %d", i, code)
+		}
+		for _, j := range list {
+			if j.Trace != "" {
+				traceToJob[j.Trace] = j.ID
+			}
+		}
+	}
+	for trace := range exemplarTraces {
+		id, ok := traceToJob[trace]
+		if !ok {
+			t.Errorf("exemplar trace %s matches no job in the cluster", trace)
+			continue
+		}
+		var tr service.TraceStatus
+		if code := getJSON(t, bases[0]+"/v1/jobs/"+id+"/trace", &tr); code != http.StatusOK {
+			t.Errorf("trace %s (job %s) does not resolve: %d", trace, id, code)
+		} else if tr.Trace != trace {
+			t.Errorf("job %s trace endpoint reports %s, exemplar carried %s", id, tr.Trace, trace)
+		}
+	}
+
+	// GET /v1/slo answers on every node: a healthy cluster reports ok
+	// overall, with the compiled-in latency and error-rate SLOs each
+	// evaluated over their three windows.
+	for i, base := range bases {
+		var report service.SLOReport
+		if code := getJSON(t, base+"/v1/slo", &report); code != http.StatusOK {
+			t.Fatalf("GET /v1/slo via node %d: %d", i, code)
+		}
+		if report.State != service.SLOOk {
+			t.Errorf("node %d SLO state = %s, want ok: %+v", i, report.State, report)
+		}
+		if len(report.SLOs) != 2 {
+			t.Fatalf("node %d reports %d SLOs, want the 2 defaults", i, len(report.SLOs))
+		}
+		for _, s := range report.SLOs {
+			if s.State != service.SLOOk {
+				t.Errorf("node %d SLO %s state = %s, want ok", i, s.Name, s.State)
+			}
+			if len(s.Windows) != 3 {
+				t.Errorf("node %d SLO %s evaluated %d windows, want 3", i, s.Name, len(s.Windows))
+			}
+			if s.Name == "job_latency" {
+				for _, w := range s.Windows {
+					if w.Total > 0 && (w.P50 <= 0 || w.P95 <= 0 || w.P99 <= 0) {
+						t.Errorf("node %d latency window %s has observations but no quantiles: %+v", i, w.Window, w)
+					}
+				}
+			}
+		}
+	}
 }
 
 func TestRunFlagErrors(t *testing.T) {
@@ -662,6 +738,21 @@ func TestRunFlagErrors(t *testing.T) {
 	// -h prints usage and succeeds without starting a server.
 	if err := run(context.Background(), []string{"-h"}, nil); err != nil {
 		t.Fatalf("-h returned an error: %v", err)
+	}
+	// Flag validation happens before the listener opens: a bad log level,
+	// a missing SLO config file, and an invalid SLO spec all fail fast.
+	if err := run(context.Background(), []string{"-log-level", "verbose"}, nil); err == nil {
+		t.Fatal("bad -log-level accepted")
+	}
+	if err := run(context.Background(), []string{"-slo-config", filepath.Join(t.TempDir(), "missing.json")}, nil); err == nil {
+		t.Fatal("missing -slo-config file accepted")
+	}
+	badSLO := filepath.Join(t.TempDir(), "slo.json")
+	if err := os.WriteFile(badSLO, []byte(`{"slos":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-slo-config", badSLO}, nil); err == nil {
+		t.Fatal("invalid -slo-config accepted")
 	}
 	// A busy port must surface as an error, not a hang.
 	base := startDaemon(t)

@@ -1,12 +1,20 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"odeproto/internal/obs"
+	"odeproto/internal/service"
 )
 
 // TestRecoveringHandler pins the readiness distinction: until the real
@@ -82,5 +90,80 @@ func TestDebugListener(t *testing.T) {
 	}
 	if code, _ := get(base + "/debug/pprof/"); code != http.StatusNotFound {
 		t.Fatalf("pprof leaked onto the public listener: %d", code)
+	}
+}
+
+// TestLogLevelContract pins the -log-level surface: the flag's "info"
+// default maps to slog.LevelInfo (so debug lines stay off unless asked
+// for), every documented level parses, and anything else is an error
+// the daemon refuses to start on.
+func TestLogLevelContract(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo,
+		"warn": slog.LevelWarn, "error": slog.LevelError,
+		"INFO": slog.LevelInfo, // case-insensitive
+	}
+	for in, want := range cases {
+		got, err := obs.ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := obs.ParseLevel("verbose"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+
+	// The default level suppresses debug records and passes info.
+	var buf bytes.Buffer
+	level, _ := obs.ParseLevel("info")
+	logger := obs.NewLeveledLogger(&buf, "n1", level)
+	logger.Debug("hidden")
+	logger.Info("shown")
+	out := buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "shown") {
+		t.Fatalf("info-level logger output:\n%s", out)
+	}
+
+	buf.Reset()
+	level, _ = obs.ParseLevel("error")
+	logger = obs.NewLeveledLogger(&buf, "n1", level)
+	logger.Warn("hidden")
+	logger.Error("shown")
+	out = buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "shown") {
+		t.Fatalf("error-level logger output:\n%s", out)
+	}
+}
+
+// TestSLOConfigFlag boots the daemon with a custom -slo-config and
+// checks GET /v1/slo evaluates exactly the configured SLOs.
+func TestSLOConfigFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "slo.json")
+	spec := `{"eval_interval":"1s","slos":[{"name":"custom_latency","indicator":"latency",
+		"objective":0.95,"threshold_seconds":10,"short_window":"1m","mid_window":"5m",
+		"long_window":"30m","page_burn_rate":10,"warn_burn_rate":2}]}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := startDaemon(t, "-slo-config", path)
+
+	resp, err := http.Get(base + "/v1/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/slo: %d %v", resp.StatusCode, err)
+	}
+	var report service.SLOReport
+	if err := json.Unmarshal(body, &report); err != nil {
+		t.Fatalf("decoding /v1/slo: %v\n%s", err, body)
+	}
+	if len(report.SLOs) != 1 || report.SLOs[0].Name != "custom_latency" {
+		t.Fatalf("report does not reflect the configured SLO:\n%s", body)
+	}
+	if report.State != service.SLOOk {
+		t.Fatalf("idle daemon SLO state = %s, want ok", report.State)
 	}
 }

@@ -97,10 +97,14 @@ func TestClusterTraceAndMetrics(t *testing.T) {
 	pollDone(t, nodes[0].base(), st.ID, time.Minute)
 
 	// Hit: the identical spec through node 0 again is a forwarded cache
-	// hit on node 1.
+	// hit on node 1 (under its own, fresh trace ID).
 	code, body = postJSON(t, nodes[0].base()+"/v1/jobs", testSpec(seed))
 	if code != http.StatusOK {
 		t.Fatalf("duplicate submit: %d %s", code, body)
+	}
+	var stHit service.JobStatus
+	if err := json.Unmarshal(body, &stHit); err != nil {
+		t.Fatal(err)
 	}
 
 	// The trace endpoint is routable from the non-owner and reports the
@@ -183,5 +187,33 @@ func TestClusterTraceAndMetrics(t *testing.T) {
 	if v := metricValue(after1, "odeproto_sweep_latency_seconds_count",
 		map[string]string{"engine": "agent", "mode": ""}); v != 1 {
 		t.Errorf("owner sweep_latency count = %g, want 1", v)
+	}
+
+	// The forwarder timed its proxied requests per peer, and a submit
+	// forward left its trace ID as a bucket exemplar. Both submits land
+	// in the same fast bucket, so the hit's trace may have overwritten
+	// the miss's — either proves the exemplar path.
+	fwdFam, ok := after0["odeproto_cluster_forward_latency_seconds"]
+	if !ok {
+		t.Fatal("forwarder exposes no odeproto_cluster_forward_latency_seconds")
+	}
+	if _, err := obs.CheckHistogram(fwdFam); err != nil {
+		t.Fatalf("forward latency histogram: %v", err)
+	}
+	if v := metricValue(after0, "odeproto_cluster_forward_latency_seconds_count",
+		map[string]string{"peer": nodes[1].addr}); v < 2 {
+		t.Errorf("forward latency count{peer=%s} = %g, want >= 2", nodes[1].addr, v)
+	}
+	sawTrace := false
+	for _, s := range fwdFam.Samples {
+		if s.Exemplar == nil {
+			continue
+		}
+		if id := s.Exemplar.Labels["trace_id"]; id == st.Trace || id == stHit.Trace {
+			sawTrace = true
+		}
+	}
+	if !sawTrace {
+		t.Errorf("no forward latency bucket carries exemplar trace_id %s or %s", st.Trace, stHit.Trace)
 	}
 }

@@ -71,6 +71,7 @@ type clusterMetrics struct {
 	ringMismatches *obs.Counter
 	probeFailures  *obs.Counter
 	peerAlive      *obs.GaugeVec
+	forwardLatency *obs.HistogramVec
 }
 
 func newClusterMetrics(r *obs.Registry) *clusterMetrics {
@@ -88,6 +89,9 @@ func newClusterMetrics(r *obs.Registry) *clusterMetrics {
 		peerAlive: r.GaugeVec("odeproto_cluster_peer_alive",
 			"Peer liveness as seen by this node (1 = alive; the static peer list bounds the label set).",
 			"peer"),
+		forwardLatency: r.HistogramVec("odeproto_cluster_forward_latency_seconds",
+			"Round-trip time of requests proxied to a peer, including its handling. Buckets carry the forwarded trace ID as an exemplar.",
+			obs.DefBuckets, "peer"),
 	}
 }
 
@@ -466,7 +470,15 @@ func (rt *Router) forward(r *http.Request, addr string, body []byte) (*http.Resp
 		req.Header.Set(obs.TraceHeader, tid)
 	}
 	req.Header.Set(headerForwarded, rt.fp)
-	return rt.client.Do(req)
+	start := time.Now()
+	resp, err := rt.client.Do(req)
+	if err == nil {
+		// ObserveTraced drops the exemplar when the request carried no
+		// trace ID (status polls), keeping the latency sample either way.
+		rt.met.forwardLatency.With(addr).ObserveTraced(
+			time.Since(start).Seconds(), req.Header.Get(obs.TraceHeader))
+	}
+	return resp, err
 }
 
 // relay streams a peer's response to the client, flushing after every

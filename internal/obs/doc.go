@@ -40,6 +40,41 @@
 //     IDs, client addresses, error strings. Those belong in logs and
 //     traces, never in metric labels.
 //
+// # Exemplars
+//
+// Exemplars are how request-derived identity gets near a metric WITHOUT
+// becoming a label: each histogram bucket retains at most ONE exemplar —
+// the most recent traced observation that landed in it, overwritten in
+// place — rendered in OpenMetrics syntax on the bucket line
+// (`... 42 # {trace_id="abc..."} 0.017`). The cardinality rules for
+// exemplars follow from that shape:
+//
+//   - storage is bounded by construction: one pointer per bucket per
+//     series, regardless of traffic. No cap, no eviction policy, no
+//     leak — an exemplar can only replace its predecessor;
+//   - the ONLY exemplar label is trace_id, and only values passing
+//     ValidTraceID are stored (ObserveTraced silently drops the rest).
+//     Never put job IDs, cache keys, or free-form strings in an
+//     exemplar: the trace ID already resolves to all of those via
+//     GET /v1/jobs/{id}/trace;
+//   - exemplars are diagnostics, not data: aggregation ignores them,
+//     CheckHistogram only validates that a present exemplar's value lies
+//     inside its bucket and its trace_id is well-formed. Code must never
+//     branch on an exemplar's presence or value.
+//
+// # Windows and quantiles
+//
+// Histograms are cumulative since boot, which is the right shape for
+// scrapers but the wrong one for "p99 over the last 5 minutes". The
+// windowed layer (WindowedHistogram, WindowedCounter) keeps a ring of
+// periodic snapshots; subtracting the baseline nearest now-d from the
+// live snapshot yields the distribution over the last d, and
+// HistogramSnapshot.Quantile interpolates p50/p95/p99 from it the way
+// PromQL's histogram_quantile does — error bounded by the width of the
+// bucket holding the rank. Callers supply every timestamp (nothing here
+// reads the wall clock), so SLO evaluation is testable with a fake
+// clock and deterministic under the repo's determinism lint.
+//
 // # Traces
 //
 // A trace is one job's correlatable trail: an ID minted at submit (or

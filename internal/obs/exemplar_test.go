@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestExemplarRenderParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	idLow, idMid, idInf := NewTraceID(), NewTraceID(), NewTraceID()
+	h.ObserveTraced(0.05, idLow)
+	h.ObserveTraced(0.5, NewTraceID())
+	h.ObserveTraced(0.7, idMid) // overwrites the 0.5 exemplar in-bucket
+	h.Observe(3)                // untraced: bucket le=10 keeps no exemplar
+	h.ObserveTraced(99, idInf)
+	h.ObserveTraced(0.2, "not-a-trace-id") // counted, but no exemplar stored
+
+	text := render(t, r)
+	fams := parse(t, text)
+	f := fams["test_latency_seconds"]
+	if _, err := CheckHistogram(f); err != nil {
+		t.Fatalf("CheckHistogram: %v", err)
+	}
+	wantByLE := map[string]struct {
+		id    string
+		value float64
+	}{
+		"0.1":  {idLow, 0.05},
+		"1":    {idMid, 0.7},
+		"+Inf": {idInf, 99},
+	}
+	seen := 0
+	for _, s := range f.Samples {
+		if s.Name != "test_latency_seconds_bucket" {
+			continue
+		}
+		le := s.Labels["le"]
+		want, ok := wantByLE[le]
+		if !ok {
+			if s.Exemplar != nil {
+				t.Fatalf("bucket le=%s has unexpected exemplar %+v", le, s.Exemplar)
+			}
+			continue
+		}
+		if s.Exemplar == nil {
+			t.Fatalf("bucket le=%s lost its exemplar:\n%s", le, text)
+		}
+		if got := s.Exemplar.Labels["trace_id"]; got != want.id {
+			t.Fatalf("bucket le=%s exemplar trace = %q, want %q", le, got, want.id)
+		}
+		if s.Exemplar.Value != want.value {
+			t.Fatalf("bucket le=%s exemplar value = %v, want %v", le, s.Exemplar.Value, want.value)
+		}
+		seen++
+	}
+	if seen != len(wantByLE) {
+		t.Fatalf("exemplar buckets seen = %d, want %d", seen, len(wantByLE))
+	}
+	// The exemplar suffix must not confuse scalar parsing of the line.
+	if v, ok := f.Value("test_latency_seconds_count", nil); !ok || v != 6 {
+		t.Fatalf("_count = %v, %v; want 6", v, ok)
+	}
+}
+
+func TestExemplarOutsideBucketRejected(t *testing.T) {
+	id := NewTraceID()
+	bad := fmt.Sprintf("# HELP test_x x\n# TYPE test_x histogram\n"+
+		"test_x_bucket{le=\"1\"} 1 # {trace_id=%q} 5\n"+
+		"test_x_bucket{le=\"+Inf\"} 1\ntest_x_sum 5\ntest_x_count 1\n", id)
+	fams, err := ParseExposition(strings.NewReader(bad))
+	if err != nil {
+		t.Fatalf("syntactically valid exposition rejected at parse: %v", err)
+	}
+	if _, err := CheckHistogram(fams["test_x"]); err == nil {
+		t.Fatal("CheckHistogram accepted an exemplar value outside its bucket")
+	}
+	badID := "# HELP test_y y\n# TYPE test_y histogram\n" +
+		"test_y_bucket{le=\"1\"} 1 # {trace_id=\"nothex\"} 0.5\n" +
+		"test_y_bucket{le=\"+Inf\"} 1\ntest_y_sum 0.5\ntest_y_count 1\n"
+	fams, err = ParseExposition(strings.NewReader(badID))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := CheckHistogram(fams["test_y"]); err == nil {
+		t.Fatal("CheckHistogram accepted a malformed exemplar trace_id")
+	}
+}
+
+// TestExemplarRace exercises concurrent traced observation against
+// concurrent rendering and exemplar reads; it exists to fail under
+// -race if exemplar storage ever stops being atomic.
+func TestExemplarRace(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_race_seconds", "Race.", DefBuckets)
+	ids := make([]string, 8)
+	for i := range ids {
+		ids[i] = NewTraceID()
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.ObserveTraced(float64(i%60)/10, ids[(g+i)%len(ids)])
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			if err := r.Render(io.Discard); err != nil {
+				t.Errorf("Render: %v", err)
+				return
+			}
+			for b := 0; b <= len(DefBuckets); b++ {
+				if e := h.BucketExemplar(b); e != nil && !ValidTraceID(e.TraceID) {
+					t.Errorf("torn exemplar read: %+v", e)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if _, err := CheckHistogram(parse(t, render(t, r))["test_race_seconds"]); err != nil {
+		t.Fatalf("CheckHistogram after race: %v", err)
+	}
+}
+
+// benchRegistry builds a registry shaped like the daemon's: a few
+// counters/gauges plus labeled histograms. traced controls whether the
+// histograms carry exemplars on every bucket.
+func benchRegistry(traced bool) *Registry {
+	r := NewRegistry()
+	r.Counter("bench_requests_total", "Requests.").Add(12345)
+	r.Gauge("bench_queue_depth", "Depth.").Set(17)
+	vec := r.HistogramVec("bench_latency_seconds", "Latency.", DefBuckets, "op")
+	for _, op := range []string{"submit", "status", "stream", "results"} {
+		h := vec.With(op)
+		for i, upper := range DefBuckets {
+			v := upper * 0.9
+			if traced {
+				h.ObserveTraced(v, NewTraceID())
+			} else {
+				h.Observe(v)
+			}
+			_ = i
+		}
+		if traced {
+			h.ObserveTraced(DefBuckets[len(DefBuckets)-1]*2, NewTraceID())
+		} else {
+			h.Observe(DefBuckets[len(DefBuckets)-1] * 2)
+		}
+	}
+	return r
+}
+
+func BenchmarkRender(b *testing.B) {
+	r := benchRegistry(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRenderWithExemplars(b *testing.B) {
+	r := benchRegistry(true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -25,8 +26,18 @@ type MetricFamily struct {
 
 // Sample is one parsed series line. For histograms, Name carries the
 // _bucket/_sum/_count suffix and bucket samples keep their le label.
+// Exemplar is non-nil when the line carried an OpenMetrics exemplar
+// (` # {labels} value`), which Render emits on traced histogram buckets.
 type Sample struct {
-	Name   string
+	Name     string
+	Labels   map[string]string
+	Value    float64
+	Exemplar *SampleExemplar
+}
+
+// SampleExemplar is a parsed OpenMetrics exemplar: its label set (Render
+// emits exactly one label, trace_id) and the exemplified value.
+type SampleExemplar struct {
 	Labels map[string]string
 	Value  float64
 }
@@ -60,6 +71,7 @@ func (f *MetricFamily) Value(name string, labels map[string]string) (float64, bo
 func ParseExposition(r io.Reader) (map[string]*MetricFamily, error) {
 	families := make(map[string]*MetricFamily)
 	var current *MetricFamily
+	seen := make(map[string]struct{})
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	lineNo := 0
@@ -79,7 +91,7 @@ func ParseExposition(r io.Reader) (map[string]*MetricFamily, error) {
 			}
 			continue
 		}
-		if err := parseSample(line, current); err != nil {
+		if err := parseSample(line, current, seen); err != nil {
 			return nil, fmt.Errorf("line %d: %w", lineNo, err)
 		}
 	}
@@ -140,7 +152,7 @@ func parseComment(line string, families map[string]*MetricFamily) (*MetricFamily
 	}
 }
 
-func parseSample(line string, current *MetricFamily) error {
+func parseSample(line string, current *MetricFamily, seen map[string]struct{}) error {
 	if current == nil {
 		return fmt.Errorf("sample %q before any family comment", line)
 	}
@@ -155,12 +167,68 @@ func parseSample(line string, current *MetricFamily) error {
 	if err != nil {
 		return fmt.Errorf("sample %s: %w", name, err)
 	}
+	// The label block is fully consumed above, so a remaining "#" can
+	// only start an OpenMetrics exemplar; split it off before value
+	// parsing (which treats trailing text as a timestamp).
+	var exemplar *SampleExemplar
+	if idx := strings.Index(valueText, "#"); idx >= 0 {
+		exemplar, err = parseExemplar(strings.TrimSpace(valueText[idx+1:]))
+		if err != nil {
+			return fmt.Errorf("sample %s: %w", name, err)
+		}
+		valueText = strings.TrimSpace(valueText[:idx])
+	}
 	value, err := parseValue(valueText)
 	if err != nil {
 		return fmt.Errorf("sample %s: %w", name, err)
 	}
-	current.Samples = append(current.Samples, Sample{Name: name, Labels: labels, Value: value})
+	key := seriesKey(name, labels)
+	if _, dup := seen[key]; dup {
+		return fmt.Errorf("duplicate series %s%s", name, canonicalLabels(labels))
+	}
+	seen[key] = struct{}{}
+	current.Samples = append(current.Samples, Sample{Name: name, Labels: labels, Value: value, Exemplar: exemplar})
 	return nil
+}
+
+// parseExemplar parses the text after a sample line's "#": an OpenMetrics
+// exemplar of the form `{label="value",...} value [timestamp]`.
+func parseExemplar(s string) (*SampleExemplar, error) {
+	if !strings.HasPrefix(s, "{") {
+		return nil, fmt.Errorf("exemplar missing label block near %q", s)
+	}
+	labels, valueText, err := splitLabels(s)
+	if err != nil {
+		return nil, fmt.Errorf("exemplar: %w", err)
+	}
+	value, err := parseValue(valueText)
+	if err != nil {
+		return nil, fmt.Errorf("exemplar: %w", err)
+	}
+	if labels == nil {
+		labels = map[string]string{}
+	}
+	return &SampleExemplar{Labels: labels, Value: value}, nil
+}
+
+// seriesKey identifies one series (name + exact label set) for duplicate
+// detection; label order in the source line does not matter.
+func seriesKey(name string, labels map[string]string) string {
+	return name + "\xff" + canonicalLabels(labels)
+}
+
+// canonicalLabels renders a label set sorted by name, for keys and
+// error messages.
+func canonicalLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(labels))
+	for k, v := range labels {
+		parts = append(parts, k+"="+strconv.Quote(v))
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ",") + "}"
 }
 
 func sampleNameMatches(f *MetricFamily, name string) bool {
@@ -357,6 +425,7 @@ func CheckHistogram(f *MetricFamily) ([]string, error) {
 		prev := -1.0
 		lastUpper := 0.0
 		lastCum := 0.0
+		lower := math.Inf(-1)
 		for _, b := range ser.buckets {
 			le := b.Labels["le"]
 			upper, err := parseValue(le)
@@ -369,9 +438,21 @@ func CheckHistogram(f *MetricFamily) ([]string, error) {
 			if b.Value < prev {
 				return nil, fmt.Errorf("%s{%s}: bucket counts not cumulative (le=%s: %v < %v)", f.Name, k, le, b.Value, prev)
 			}
+			if e := b.Exemplar; e != nil {
+				// An exemplar exemplifies an observation from this bucket,
+				// so its value must lie in (lower, le] and its trace link
+				// must be a well-formed trace ID.
+				if e.Value > upper || e.Value <= lower {
+					return nil, fmt.Errorf("%s{%s}: exemplar value %v outside bucket (%v, %v]", f.Name, k, e.Value, lower, upper)
+				}
+				if !ValidTraceID(e.Labels["trace_id"]) {
+					return nil, fmt.Errorf("%s{%s}: exemplar on le=%s has invalid trace_id %q", f.Name, k, le, e.Labels["trace_id"])
+				}
+			}
 			prev = b.Value
 			lastUpper = upper
 			lastCum = b.Value
+			lower = upper
 		}
 		last := ser.buckets[len(ser.buckets)-1]
 		if last.Labels["le"] != "+Inf" {

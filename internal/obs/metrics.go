@@ -246,16 +246,31 @@ func (g *Gauge) Add(d float64) {
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// Exemplar links a histogram bucket to the most recent traced
+// observation that landed in it: the value and the trace ID under which
+// it was recorded. One exemplar per bucket, overwritten on each traced
+// observation — bounded by construction, like every label set (see the
+// package cardinality rules).
+type Exemplar struct {
+	TraceID string
+	Value   float64
+}
+
 // Histogram counts observations into fixed cumulative buckets.
 type Histogram struct {
-	upper  []float64 // ascending upper bounds, excluding +Inf
-	counts []atomic.Int64
-	inf    atomic.Int64
-	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	upper     []float64 // ascending upper bounds, excluding +Inf
+	counts    []atomic.Int64
+	inf       atomic.Int64
+	sum       atomic.Uint64              // float64 bits, CAS-accumulated
+	exemplars []atomic.Pointer[Exemplar] // one per bucket, +Inf last
 }
 
 func newHistogram(buckets []float64) *Histogram {
-	return &Histogram{upper: buckets, counts: make([]atomic.Int64, len(buckets))}
+	return &Histogram{
+		upper:     buckets,
+		counts:    make([]atomic.Int64, len(buckets)),
+		exemplars: make([]atomic.Pointer[Exemplar], len(buckets)+1),
+	}
 }
 
 // Observe records one value.
@@ -272,6 +287,30 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveTraced records one value and retains {traceID, v} as the
+// exemplar of the bucket v lands in, rendered in OpenMetrics exemplar
+// syntax on /metrics so a scraped latency bucket links back to a
+// concrete trace. Malformed trace IDs observe without an exemplar —
+// exemplars are diagnostics, never worth rejecting the observation over.
+func (h *Histogram) ObserveTraced(v float64, traceID string) {
+	h.Observe(v)
+	if !ValidTraceID(traceID) {
+		return
+	}
+	idx := sort.SearchFloat64s(h.upper, v)
+	h.exemplars[idx].Store(&Exemplar{TraceID: traceID, Value: v})
+}
+
+// BucketExemplar returns the retained exemplar for bucket i (counting
+// the +Inf bucket as the last index), or nil if no traced observation
+// has landed there.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
 }
 
 // Count returns the total number of observations.
@@ -381,12 +420,14 @@ func (f *family) renderChild(w io.Writer, c *child) error {
 		cum, sum := c.hist.snapshot()
 		for i, upper := range c.hist.upper {
 			le := labelString(f.labels, c.labelValues, "le", formatFloat(upper))
-			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, le, cum[i]); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name, le, cum[i],
+				exemplarSuffix(c.hist.BucketExemplar(i))); err != nil {
 				return err
 			}
 		}
 		le := labelString(f.labels, c.labelValues, "le", "+Inf")
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, le, cum[len(cum)-1]); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name, le, cum[len(cum)-1],
+			exemplarSuffix(c.hist.BucketExemplar(len(c.hist.upper)))); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, base, formatFloat(sum)); err != nil {
@@ -396,6 +437,16 @@ func (f *family) renderChild(w io.Writer, c *child) error {
 		return err
 	}
 	return nil
+}
+
+// exemplarSuffix renders a bucket's retained exemplar in OpenMetrics
+// syntax (` # {trace_id="..."} value`), or "" when the bucket has none.
+// Trace IDs are validated hex on the way in, so no escaping can apply.
+func exemplarSuffix(e *Exemplar) string {
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s", e.TraceID, formatFloat(e.Value))
 }
 
 // labelString renders {a="x",b="y"} (plus an optional extra pair, for

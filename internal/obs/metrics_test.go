@@ -242,6 +242,14 @@ func TestParserRejectsMalformed(t *testing.T) {
 		"# HELP test_x x\n# TYPE test_x counter\ntest_x_bucket{le=\"1\"} 1\n",
 		"# HELP test_x x\ntest_x 1\n", // HELP but never typed
 		"# HELP test_x x\n# HELP test_x x\n",
+		// Duplicate series (same name + label set twice) must be rejected,
+		// not last-write-wins: a scrape that repeats a series is corrupt.
+		"# HELP test_x x\n# TYPE test_x counter\ntest_x 1\ntest_x 2\n",
+		"# HELP test_x x\n# TYPE test_x counter\ntest_x{a=\"1\",b=\"2\"} 1\ntest_x{b=\"2\",a=\"1\"} 2\n",
+		"# HELP test_x x\n# TYPE test_x histogram\ntest_x_bucket{le=\"+Inf\"} 1\ntest_x_bucket{le=\"+Inf\"} 1\ntest_x_sum 0\ntest_x_count 1\n",
+		// Malformed exemplars: missing label block, unparseable value.
+		"# HELP test_x x\n# TYPE test_x counter\ntest_x 1 # nolabels 2\n",
+		"# HELP test_x x\n# TYPE test_x counter\ntest_x 1 # {trace_id=\"abc\"} nope\n",
 	}
 	for _, text := range bad {
 		if _, err := ParseExposition(strings.NewReader(text)); err == nil {

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// This file is the windowed view over the registry's monotone
+// primitives: periodic snapshots of a histogram's cumulative buckets (or
+// a counter's total) kept in a time-indexed ring, so quantiles and rates
+// can be computed over the last 5m/30m/6h instead of process lifetime.
+// Nothing here reads the wall clock — callers supply every timestamp, so
+// the SLO tests drive the rings with a fake clock.
+
+// HistogramSnapshot is one point-in-time copy of a histogram: the bucket
+// upper bounds (excluding +Inf), the cumulative counts (one per bound
+// plus the +Inf total last), and the running sum. Subtracting two
+// snapshots yields the distribution of the observations between them.
+type HistogramSnapshot struct {
+	Upper []float64
+	Cum   []int64
+	Sum   float64
+}
+
+// Snapshot returns the histogram's current cumulative state. The counts
+// come from one pass, so within a snapshot they are monotone and the
+// last entry equals the total observation count.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	cum, sum := h.snapshot()
+	return HistogramSnapshot{Upper: h.upper, Cum: cum, Sum: sum}
+}
+
+// Count returns the snapshot's total observation count.
+func (s HistogramSnapshot) Count() int64 {
+	if len(s.Cum) == 0 {
+		return 0
+	}
+	return s.Cum[len(s.Cum)-1]
+}
+
+// Sub returns s minus old: the distribution of observations recorded
+// between the two snapshots. Both must come from the same histogram
+// (identical bucket bounds). Concurrent observation between the two
+// reads can make individual bucket deltas transiently negative; those
+// clamp to the previous cumulative value so the result stays monotone.
+func (s HistogramSnapshot) Sub(old HistogramSnapshot) HistogramSnapshot {
+	d := HistogramSnapshot{Upper: s.Upper, Cum: make([]int64, len(s.Cum)), Sum: s.Sum - old.Sum}
+	prev := int64(0)
+	for i := range s.Cum {
+		v := s.Cum[i]
+		if i < len(old.Cum) {
+			v -= old.Cum[i]
+		}
+		if v < prev {
+			v = prev
+		}
+		d.Cum[i] = v
+		prev = v
+	}
+	return d
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the snapshot by
+// monotone linear interpolation within the bucket holding the target
+// rank — the same estimator as PromQL's histogram_quantile, so the
+// error is bounded by the width of that bucket. Observations in the
+// +Inf bucket clamp to the highest finite bound. An empty snapshot
+// returns NaN.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	total := s.Count()
+	if total == 0 || len(s.Upper) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	for i, upper := range s.Upper {
+		if float64(s.Cum[i]) >= rank {
+			lower, prevCum := 0.0, int64(0)
+			if i > 0 {
+				lower, prevCum = s.Upper[i-1], s.Cum[i-1]
+			}
+			in := s.Cum[i] - prevCum
+			if in == 0 {
+				return upper
+			}
+			return lower + (upper-lower)*(rank-float64(prevCum))/float64(in)
+		}
+	}
+	// Rank lands in the +Inf bucket: the highest finite bound is the best
+	// statement the fixed buckets can make.
+	return s.Upper[len(s.Upper)-1]
+}
+
+// FractionOver estimates the fraction of the snapshot's observations
+// strictly above threshold, interpolating linearly within the bucket
+// containing the threshold. An empty snapshot returns 0 — no traffic
+// burns no error budget.
+func (s HistogramSnapshot) FractionOver(threshold float64) float64 {
+	total := s.Count()
+	if total == 0 || len(s.Upper) == 0 {
+		return 0
+	}
+	below := float64(s.Cum[len(s.Upper)-1]) // everything in finite buckets
+	for i, upper := range s.Upper {
+		if threshold <= upper {
+			lower, prevCum := 0.0, int64(0)
+			if i > 0 {
+				lower, prevCum = s.Upper[i-1], s.Cum[i-1]
+			}
+			in := float64(s.Cum[i] - prevCum)
+			below = float64(prevCum)
+			if upper > lower {
+				below += in * (threshold - lower) / (upper - lower)
+			}
+			break
+		}
+	}
+	over := float64(total) - below
+	if over < 0 {
+		over = 0
+	}
+	return over / float64(total)
+}
+
+// windowEntry is one ring slot: a snapshot and when it was taken.
+type windowEntry[T any] struct {
+	at   time.Time
+	snap T
+}
+
+// windowRing keeps timestamped snapshots covering at most retention,
+// evicting older entries as new ones arrive.
+type windowRing[T any] struct {
+	mu        sync.Mutex
+	retention time.Duration
+	entries   []windowEntry[T]
+}
+
+func (r *windowRing[T]) tick(now time.Time, snap T) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries = append(r.entries, windowEntry[T]{at: now, snap: snap})
+	cut := now.Add(-r.retention)
+	drop := 0
+	for drop < len(r.entries)-1 && r.entries[drop+1].at.Before(cut) {
+		// Keep one entry at or before the cut: it is the baseline that
+		// makes the full retention window computable.
+		drop++
+	}
+	if drop > 0 {
+		r.entries = append(r.entries[:0], r.entries[drop:]...)
+	}
+}
+
+// baseline returns the newest entry at least d old (relative to now), or
+// the oldest entry when the ring is younger than d. ok is false only
+// while the ring is empty (no tick yet).
+func (r *windowRing[T]) baseline(now time.Time, d time.Duration) (windowEntry[T], bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.entries) == 0 {
+		var zero windowEntry[T]
+		return zero, false
+	}
+	cut := now.Add(-d)
+	best := r.entries[0]
+	for _, e := range r.entries[1:] {
+		if e.at.After(cut) {
+			break
+		}
+		best = e
+	}
+	return best, true
+}
+
+// WindowedHistogram derives time-windowed distributions from a live
+// histogram: Tick records a periodic baseline snapshot, and Window
+// subtracts the baseline nearest the requested age from the live state.
+// The window resolution is therefore the tick period, and a window
+// longer than the ring has lived degrades gracefully to "since start"
+// (the returned coverage says which).
+type WindowedHistogram struct {
+	h    *Histogram
+	ring windowRing[HistogramSnapshot]
+}
+
+// NewWindowedHistogram wraps h, retaining ticked baselines for at least
+// retention (choose the longest window any caller will ask for).
+func NewWindowedHistogram(h *Histogram, retention time.Duration) *WindowedHistogram {
+	return &WindowedHistogram{h: h, ring: windowRing[HistogramSnapshot]{retention: retention}}
+}
+
+// Tick records a baseline snapshot at now. Call it on a fixed cadence —
+// the SLO evaluator's loop — or directly from tests with a fake clock.
+func (w *WindowedHistogram) Tick(now time.Time) {
+	w.ring.tick(now, w.h.Snapshot())
+}
+
+// Window returns the distribution of observations over (roughly) the
+// last d: the live snapshot minus the baseline nearest now-d. covered
+// reports the actual span (shorter than d while the process is young).
+// Before the first Tick the window is the histogram's whole lifetime
+// with zero coverage claimed.
+func (w *WindowedHistogram) Window(now time.Time, d time.Duration) (delta HistogramSnapshot, covered time.Duration) {
+	cur := w.h.Snapshot()
+	base, ok := w.ring.baseline(now, d)
+	if !ok {
+		return cur, 0
+	}
+	return cur.Sub(base.snap), now.Sub(base.at)
+}
+
+// WindowedCounter is the counter analogue of WindowedHistogram: Tick
+// records baselines, Window returns the increase over the last d.
+type WindowedCounter struct {
+	c    *Counter
+	ring windowRing[int64]
+}
+
+// NewWindowedCounter wraps c, retaining baselines for at least retention.
+func NewWindowedCounter(c *Counter, retention time.Duration) *WindowedCounter {
+	return &WindowedCounter{c: c, ring: windowRing[int64]{retention: retention}}
+}
+
+// Tick records a baseline at now.
+func (w *WindowedCounter) Tick(now time.Time) {
+	w.ring.tick(now, w.c.Value())
+}
+
+// Window returns the counter's increase over (roughly) the last d and
+// the actual span covered.
+func (w *WindowedCounter) Window(now time.Time, d time.Duration) (delta int64, covered time.Duration) {
+	cur := w.c.Value()
+	base, ok := w.ring.baseline(now, d)
+	if !ok {
+		return cur, 0
+	}
+	d2 := cur - base.snap
+	if d2 < 0 {
+		d2 = 0
+	}
+	return d2, now.Sub(base.at)
+}

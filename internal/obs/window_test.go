@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+// quantDist is one known distribution for the accuracy table: a
+// generator producing n deterministic values (no global rand — the
+// fixtures must be identical run to run).
+type quantDist struct {
+	name string
+	gen  func(i, n int) float64
+}
+
+// trueQuantile is the empirical q-quantile of a sorted sample — the
+// ground truth the bucket interpolation is compared against.
+func trueQuantile(sorted []float64, q float64) float64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// bucketWidth returns the width of the DefBuckets bucket containing v —
+// the estimator's documented error bound.
+func bucketWidth(v float64) float64 {
+	i := sort.SearchFloat64s(DefBuckets, v)
+	if i >= len(DefBuckets) {
+		i = len(DefBuckets) - 1
+	}
+	lower := 0.0
+	if i > 0 {
+		lower = DefBuckets[i-1]
+	}
+	return DefBuckets[i] - lower
+}
+
+func TestQuantileAccuracyTable(t *testing.T) {
+	const n = 10000
+	dists := []quantDist{
+		// Uniform over (0, 2]: spans many buckets evenly.
+		{"uniform", func(i, n int) float64 { return 2 * float64(i+1) / float64(n) }},
+		// Exponential-ish spread: mass concentrated low, long tail —
+		// the shape job latency actually has.
+		{"exponential", func(i, n int) float64 {
+			u := float64(i+1) / float64(n+1)
+			return -0.05 * math.Log(1-u)
+		}},
+		// Constant: every observation in one bucket; interpolation must
+		// stay within that bucket for every quantile.
+		{"constant", func(i, n int) float64 { return 0.3 }},
+		// Bimodal: fast cache hits and slow sweeps, nothing between.
+		{"bimodal", func(i, n int) float64 {
+			if i%2 == 0 {
+				return 0.002
+			}
+			return 4
+		}},
+	}
+	for _, d := range dists {
+		t.Run(d.name, func(t *testing.T) {
+			h := newHistogram(DefBuckets)
+			values := make([]float64, n)
+			for i := range values {
+				v := d.gen(i, n)
+				values[i] = v
+				h.Observe(v)
+			}
+			sort.Float64s(values)
+			snap := h.Snapshot()
+			if snap.Count() != n {
+				t.Fatalf("snapshot count = %d, want %d", snap.Count(), n)
+			}
+			for _, q := range []float64{0.5, 0.95, 0.99} {
+				est := snap.Quantile(q)
+				truth := trueQuantile(values, q)
+				if tol := bucketWidth(truth); math.Abs(est-truth) > tol {
+					t.Errorf("p%g = %v, true %v, |err| %v > bucket width %v",
+						q*100, est, truth, math.Abs(est-truth), tol)
+				}
+			}
+		})
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := newHistogram(DefBuckets)
+	if q := h.Snapshot().Quantile(0.99); !math.IsNaN(q) {
+		t.Fatalf("empty quantile = %v, want NaN", q)
+	}
+	// Everything beyond the last finite bucket: the estimate clamps to
+	// the highest finite bound rather than inventing a number.
+	h.Observe(1e6)
+	if q := h.Snapshot().Quantile(0.5); q != DefBuckets[len(DefBuckets)-1] {
+		t.Fatalf("+Inf-bucket quantile = %v, want %v", q, DefBuckets[len(DefBuckets)-1])
+	}
+}
+
+func TestFractionOver(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for i := 0; i < 8; i++ {
+		h.Observe(float64(i) / 2) // 0, .5, 1, 1.5, 2, 2.5, 3, 3.5
+	}
+	snap := h.Snapshot()
+	if got := snap.FractionOver(2); math.Abs(got-0.375) > 0.13 {
+		t.Fatalf("FractionOver(2) = %v, want ~0.375 within bucket error", got)
+	}
+	if got := snap.FractionOver(100); got != 0 {
+		t.Fatalf("FractionOver beyond all buckets = %v, want 0", got)
+	}
+	empty := newHistogram([]float64{1})
+	if got := empty.Snapshot().FractionOver(0.5); got != 0 {
+		t.Fatalf("empty FractionOver = %v, want 0", got)
+	}
+}
+
+func TestWindowedHistogramDeltas(t *testing.T) {
+	h := newHistogram([]float64{1, 10})
+	w := NewWindowedHistogram(h, time.Hour)
+	clock := time.Unix(1700000000, 0)
+
+	// Before any tick: whole lifetime, zero coverage claimed.
+	h.Observe(0.5)
+	snap, covered := w.Window(clock, 5*time.Minute)
+	if snap.Count() != 1 || covered != 0 {
+		t.Fatalf("pre-tick window = count %d covered %v", snap.Count(), covered)
+	}
+
+	w.Tick(clock)
+	for i := 0; i < 4; i++ {
+		clock = clock.Add(time.Minute)
+		h.Observe(5) // lands in le=10
+		w.Tick(clock)
+	}
+	// 5-minute window spans all ticks: the 4 new observations, not the
+	// pre-baseline one.
+	snap, covered = w.Window(clock, 5*time.Minute)
+	if snap.Count() != 4 {
+		t.Fatalf("5m window count = %d, want 4", snap.Count())
+	}
+	if covered != 4*time.Minute {
+		t.Fatalf("5m window covered = %v, want 4m", covered)
+	}
+	// 2-minute window: baseline is the tick 2m ago → 2 observations.
+	snap, covered = w.Window(clock, 2*time.Minute)
+	if snap.Count() != 2 || covered != 2*time.Minute {
+		t.Fatalf("2m window = count %d covered %v, want 2, 2m", snap.Count(), covered)
+	}
+	// The delta distribution reflects only windowed observations.
+	if q := snap.Quantile(0.5); q <= 1 || q > 10 {
+		t.Fatalf("windowed p50 = %v, want in (1, 10]", q)
+	}
+}
+
+func TestWindowRingEviction(t *testing.T) {
+	h := newHistogram([]float64{1})
+	w := NewWindowedHistogram(h, 10*time.Minute)
+	clock := time.Unix(1700000000, 0)
+	for i := 0; i < 100; i++ {
+		w.Tick(clock)
+		clock = clock.Add(time.Minute)
+	}
+	w.ring.mu.Lock()
+	n := len(w.ring.entries)
+	w.ring.mu.Unlock()
+	// Retention is 10m at 1m ticks: ~11 entries (one baseline at or
+	// beyond the cut is kept), not 100.
+	if n > 12 {
+		t.Fatalf("ring holds %d entries after eviction, want <= 12", n)
+	}
+	// A window at full retention is still answerable.
+	if _, covered := w.Window(clock, 10*time.Minute); covered < 10*time.Minute {
+		t.Fatalf("full-retention window covered only %v", covered)
+	}
+}
+
+func TestWindowedCounter(t *testing.T) {
+	c := &Counter{}
+	w := NewWindowedCounter(c, time.Hour)
+	clock := time.Unix(1700000000, 0)
+	c.Add(100)
+	w.Tick(clock)
+	clock = clock.Add(5 * time.Minute)
+	c.Add(7)
+	w.Tick(clock)
+	clock = clock.Add(5 * time.Minute)
+	c.Add(3)
+	if delta, covered := w.Window(clock, 10*time.Minute); delta != 10 || covered != 10*time.Minute {
+		t.Fatalf("10m delta = %d covered %v, want 10, 10m", delta, covered)
+	}
+	if delta, _ := w.Window(clock, 5*time.Minute); delta != 3 {
+		t.Fatalf("5m delta = %d, want 3", delta)
+	}
+}
+
+func TestSnapshotSubClampsMonotone(t *testing.T) {
+	// A baseline that claims more than the live snapshot (possible only
+	// under racing reads) must not produce negative or non-monotone
+	// deltas.
+	cur := HistogramSnapshot{Upper: []float64{1, 2}, Cum: []int64{5, 6, 8}}
+	old := HistogramSnapshot{Upper: []float64{1, 2}, Cum: []int64{6, 6, 6}}
+	d := cur.Sub(old)
+	prev := int64(0)
+	for i, v := range d.Cum {
+		if v < prev {
+			t.Fatalf("delta not monotone at %d: %v", i, d.Cum)
+		}
+		prev = v
+	}
+	if d.Cum[0] != 0 {
+		t.Fatalf("negative delta not clamped: %v", d.Cum)
+	}
+}

@@ -1,0 +1,102 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Waterfall renders a trace's lifecycle spans as a horizontal waterfall
+// SVG: one bar per span, drawn to a shared time scale, each labeled with
+// its stage name and duration. The service serves one per job at
+// GET /v1/jobs/{id}/trace.svg.
+type Waterfall struct {
+	Title    string
+	Subtitle string // e.g. "node n1 · trace ab12…" — the owning node
+	Width    int
+	spans    []waterfallSpan
+}
+
+type waterfallSpan struct {
+	label      string
+	start, end float64 // seconds from trace start; start == end is an instant marker
+}
+
+// NewWaterfall returns a waterfall with the default width.
+func NewWaterfall(title, subtitle string) *Waterfall {
+	return &Waterfall{Title: title, Subtitle: subtitle, Width: 720}
+}
+
+// AddSpan appends one bar covering [start, end] seconds from the trace
+// start. A zero-length span renders as an instant marker.
+func (wf *Waterfall) AddSpan(label string, start, end float64) {
+	if end < start {
+		end = start
+	}
+	wf.spans = append(wf.spans, waterfallSpan{label: label, start: start, end: end})
+}
+
+// fmtDuration renders a span length the way humans read latency.
+func fmtDuration(sec float64) string {
+	switch {
+	case sec < 0.001:
+		return fmt.Sprintf("%.0fµs", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.1fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", sec)
+	}
+}
+
+// SVG renders the waterfall as a standalone SVG document.
+func (wf *Waterfall) SVG() string {
+	const (
+		labelW  = 110.0 // left gutter for stage names
+		topH    = 56.0  // title + subtitle
+		rowH    = 28.0
+		barH    = 16.0
+		marginR = 90.0 // right gutter for duration labels
+	)
+	w := float64(wf.Width)
+	h := topH + rowH*float64(len(wf.spans)) + 40
+
+	total := 0.0
+	for _, s := range wf.spans {
+		total = math.Max(total, s.end)
+	}
+	if total <= 0 {
+		total = 1e-6 // all-instant trace: any positive scale renders the markers
+	}
+	px := func(t float64) float64 { return labelW + t/total*(w-labelW-marginR) }
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", w, h, w, h)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&sb, `<text x="%g" y="22" font-size="15" text-anchor="middle" font-weight="bold">%s</text>`+"\n", w/2, escape(wf.Title))
+	if wf.Subtitle != "" {
+		fmt.Fprintf(&sb, `<text x="%g" y="40" font-size="12" text-anchor="middle" fill="#555">%s</text>`+"\n", w/2, escape(wf.Subtitle))
+	}
+	// Time axis: gridline at each quarter of the total span.
+	for i := 0; i <= 4; i++ {
+		t := total * float64(i) / 4
+		x := px(t)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%g" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", x, topH, x, h-28)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle" fill="#555">%s</text>`+"\n", x, h-14, fmtDuration(t))
+	}
+	for i, s := range wf.spans {
+		y := topH + rowH*float64(i)
+		color := palette[i%len(palette)]
+		fmt.Fprintf(&sb, `<text x="%g" y="%.1f" font-size="12" text-anchor="end">%s</text>`+"\n", labelW-8, y+barH-3, escape(s.label))
+		x0, x1 := px(s.start), px(s.end)
+		if x1-x0 < 2 {
+			// Instant (or sub-pixel) span: a visible marker beats an
+			// invisible rectangle.
+			fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="3"/>`+"\n", x0, y, x0, y+barH, color)
+		} else {
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.0f" fill="%s" rx="2"/>`+"\n", x0, y, x1-x0, barH, color)
+		}
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="11" fill="#333">%s</text>`+"\n", x1+6, y+barH-4, fmtDuration(s.end-s.start))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}

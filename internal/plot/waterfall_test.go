@@ -1,0 +1,71 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWaterfallSVG(t *testing.T) {
+	wf := NewWaterfall("trace waterfall · job1", "node n1 · trace abc")
+	wf.AddSpan("queued", 0, 0)
+	wf.AddSpan("compiled", 0, 0.004)
+	wf.AddSpan("swept", 0.004, 1.2)
+	wf.AddSpan("responded", 1.2, 1.2001)
+
+	svg := wf.SVG()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatalf("not a standalone SVG document:\n%.200s", svg)
+	}
+	for _, label := range []string{"queued", "compiled", "swept", "responded", "node n1"} {
+		if !strings.Contains(svg, label) {
+			t.Fatalf("SVG missing %q", label)
+		}
+	}
+	// The dominant span draws a rectangle; the zero-length origin span
+	// draws an instant marker (a 3px line) instead of an invisible rect.
+	if !strings.Contains(svg, "<rect x=") {
+		t.Fatal("no span rectangles rendered")
+	}
+	if !strings.Contains(svg, `stroke-width="3"`) {
+		t.Fatal("no instant marker rendered for zero-length span")
+	}
+	// Duration labels use human units.
+	for _, d := range []string{"1.20s", "4.0ms"} {
+		if !strings.Contains(svg, d) {
+			t.Fatalf("SVG missing duration label %q", d)
+		}
+	}
+}
+
+func TestWaterfallClampsAndEmpty(t *testing.T) {
+	wf := NewWaterfall("t", "")
+	wf.AddSpan("backwards", 2, 1) // end < start clamps to an instant
+	svg := wf.SVG()
+	if !strings.Contains(svg, "backwards") {
+		t.Fatal("clamped span dropped")
+	}
+
+	empty := NewWaterfall("t", "").SVG()
+	if !strings.HasPrefix(empty, "<svg") {
+		t.Fatal("empty waterfall should still render a valid document")
+	}
+}
+
+func TestFmtDuration(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want string
+	}{
+		{0.000002, "2µs"},
+		{0.0005, "500µs"},
+		{0.004, "4.0ms"},
+		{0.9994, "999.4ms"},
+		{1.5, "1.50s"},
+		{62, "62.00s"},
+	}
+	for _, c := range cases {
+		if got := fmtDuration(c.sec); got != c.want {
+			t.Errorf("fmtDuration(%v) = %q, want %q", c.sec, got, c.want)
+		}
+	}
+}

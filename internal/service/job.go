@@ -302,7 +302,7 @@ func (s *Server) execute(ctx context.Context, job *Job) (*JobResult, error) {
 		// contract); the service supplies it for latency observation.
 		Now: time.Now,
 		OnJobDone: func(i int, res harness.Result, start, end time.Time) {
-			s.observeSweepLatency(spec.Engine, spec.Mode, end.Sub(start))
+			s.observeSweepLatency(spec.Engine, spec.Mode, job.traceID(), end.Sub(start))
 		},
 	}
 	results, err := harness.SweepContext(ctx, jobs, opts)
@@ -361,7 +361,7 @@ func (s *Server) runJob(job *Job) {
 			job.status = StatusRunning
 			job.started = time.Now()
 			job.mu.Unlock()
-			s.met.queueWait.Observe(job.started.Sub(job.created).Seconds())
+			s.met.queueWait.ObserveTraced(job.started.Sub(job.created).Seconds(), job.traceID())
 			s.journal(store.JobRecord{Op: store.OpRunning, ID: job.ID, Key: key, Trace: job.traceID(),
 				StartedAt: job.started.UnixNano()})
 			fillRowsFromResult(job.rows, res)
@@ -380,7 +380,7 @@ func (s *Server) runJob(job *Job) {
 	job.cancel = cancel
 	job.mu.Unlock()
 	defer cancel()
-	s.met.queueWait.Observe(job.started.Sub(job.created).Seconds())
+	s.met.queueWait.ObserveTraced(job.started.Sub(job.created).Seconds(), job.traceID())
 	// Every worker record stamps the key: if a crash loses the submitter
 	// and its OpSubmitted append raced, the recovered job still knows its
 	// content address and can reload its persisted result.

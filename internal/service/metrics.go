@@ -13,12 +13,15 @@ import (
 type serviceMetrics struct {
 	submitted    *obs.Counter
 	coalesced    *obs.Counter
+	rejected     *obs.Counter
+	failed       *obs.Counter
 	sweeps       *obs.Counter
 	cacheHits    *obs.Counter
 	cacheMisses  *obs.Counter
 	diskHits     *obs.Counter
 	storeErrs    *obs.Counter
 	queueWait    *obs.Histogram
+	jobDuration  *obs.Histogram
 	sweepLatency *obs.HistogramVec
 }
 
@@ -28,6 +31,10 @@ func newServiceMetrics(r *obs.Registry) *serviceMetrics {
 			"Jobs accepted by submit (including cache hits; excluding coalesced twins and rejections)."),
 		coalesced: r.Counter("odeproto_jobs_coalesced_total",
 			"Submissions answered by an identical in-flight job (single-flight dedup)."),
+		rejected: r.Counter("odeproto_jobs_rejected_total",
+			"Submissions rejected with 429 because the bounded queue was full (admission control)."),
+		failed: r.Counter("odeproto_jobs_failed_total",
+			"Jobs that reached the failed state (the bad-event count for the error-rate SLO)."),
 		sweeps: r.Counter("odeproto_sweeps_executed_total",
 			"Sweeps actually simulated (cache hits do not count)."),
 		cacheHits: r.Counter("odeproto_cache_hits_total",
@@ -40,6 +47,9 @@ func newServiceMetrics(r *obs.Registry) *serviceMetrics {
 			"Store faults absorbed by the service (failed WAL appends, unreadable result blobs)."),
 		queueWait: r.Histogram("odeproto_queue_wait_seconds",
 			"Time jobs spent queued before a worker picked them up.", obs.DefBuckets),
+		jobDuration: r.Histogram("odeproto_job_duration_seconds",
+			"End-to-end job duration from submit to terminal state (done and failed jobs; cancellations excluded) — the latency-SLO source.",
+			obs.DefBuckets),
 		sweepLatency: r.HistogramVec("odeproto_sweep_latency_seconds",
 			"Per-run sweep execution latency, by engine and asyncnet mode (mode is empty for the synchronous engines).",
 			obs.DefBuckets, "engine", "mode"),
@@ -71,8 +81,9 @@ func (s *Server) registerGauges(r *obs.Registry) {
 }
 
 // observeSweepLatency records one run's wall-clock duration under the
-// job's engine+mode series. Engine names and modes are validated enums
-// (spec.normalize), so the label set is bounded.
-func (s *Server) observeSweepLatency(engine, mode string, d time.Duration) {
-	s.met.sweepLatency.With(engine, mode).Observe(d.Seconds())
+// job's engine+mode series, with the job's trace as the bucket exemplar.
+// Engine names and modes are validated enums (spec.normalize), so the
+// label set is bounded.
+func (s *Server) observeSweepLatency(engine, mode, traceID string, d time.Duration) {
+	s.met.sweepLatency.With(engine, mode).ObserveTraced(d.Seconds(), traceID)
 }

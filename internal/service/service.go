@@ -33,6 +33,8 @@
 //	DELETE /v1/jobs/{id}           cancel a queued or running job
 //	GET    /v1/jobs/{id}/stream    NDJSON per-period counts as the run progresses
 //	GET    /v1/jobs/{id}/figure.svg  rendered trajectory (internal/plot)
+//	GET    /v1/jobs/{id}/trace.svg   lifecycle waterfall (internal/plot)
+//	GET    /v1/slo                 burn-rate SLO states + windowed latency quantiles
 //	GET    /v1/results/{key}       fetch a persisted result by cache key
 //	GET    /v1/stats               cache/queue/worker/store counters
 //	GET    /v1/healthz             liveness
@@ -46,6 +48,7 @@ import (
 	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,7 +62,8 @@ type Config struct {
 	// Workers is the number of jobs simulated concurrently (default 2).
 	Workers int
 	// QueueDepth bounds the jobs waiting to run (default 64); submissions
-	// beyond it are rejected with 503.
+	// beyond it are rejected with 429 and a Retry-After derived from the
+	// windowed p95 queue wait (admission control).
 	QueueDepth int
 	// CacheSize bounds the content-addressed result cache (default 256
 	// results, LRU eviction).
@@ -97,6 +101,11 @@ type Config struct {
 	// front-end passes the node's self address; standalone daemons may
 	// leave it empty).
 	Node string
+	// SLO configures the burn-rate SLO evaluator (GET /v1/slo, the
+	// odeproto_slo_* gauges, and the 429 Retry-After hint). nil takes
+	// DefaultSLOConfig; a non-nil config must already be validated
+	// (ParseSLOConfig validates, the -slo-config flag path).
+	SLO *SLOConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -160,6 +169,7 @@ type Server struct {
 	met     *serviceMetrics
 	reg     *obs.Registry
 	log     *slog.Logger
+	slo     *sloEvaluator
 	warmed  int // results loaded from disk into the LRU at startup
 	resumed int // interrupted jobs auto-resubmitted at startup
 }
@@ -185,16 +195,22 @@ func New(cfg Config) *Server {
 		reg:        cfg.Metrics,
 		log:        cfg.Logger,
 	}
+	sloCfg := DefaultSLOConfig()
+	if cfg.SLO != nil {
+		sloCfg = *cfg.SLO
+	}
+	s.slo = newSLOEvaluator(sloCfg, met, cfg.Metrics)
 	s.registerGauges(cfg.Metrics)
 	store.RegisterMetrics(cfg.Metrics, s.store)
 	restartable := s.recoverJobs()
 	if cfg.ResumeInterrupted {
 		s.resumeInterrupted(restartable)
 	}
-	s.wg.Add(cfg.Workers)
+	s.wg.Add(cfg.Workers + 1)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
+	go s.sloLoop()
 	return s
 }
 
@@ -264,7 +280,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 // minted.
 func (s *Server) submitTraced(spec JobSpec, traceID string) (*Job, error) {
 	if s.closed.Load() {
-		return nil, errQueueFull
+		return nil, errShuttingDown
 	}
 	tr := obs.NewTrace(traceID, s.cfg.Node)
 	created := time.Now()
@@ -362,7 +378,14 @@ func (s *Server) submitTraced(spec JobSpec, traceID string) (*Job, error) {
 	return job, nil
 }
 
-var errQueueFull = errors.New("job queue is full")
+var (
+	// errQueueFull is admission control: the bounded queue is at
+	// capacity, mapped to 429 + Retry-After (retrying can succeed).
+	errQueueFull = errors.New("job queue is full")
+	// errShuttingDown is terminal for this process, mapped to 503
+	// (retrying against this node cannot succeed).
+	errShuttingDown = errors.New("service is shutting down")
+)
 
 // register assigns an ID and stores an already-terminal job (the
 // done-on-arrival cache-hit path; queued jobs register inside Submit's
@@ -399,8 +422,11 @@ type Stats struct {
 	SweepsExecuted int64          `json:"sweeps_executed"`
 	// CoalescedJobs counts submissions answered by returning an identical
 	// in-flight job (single-flight deduplication).
-	CoalescedJobs int64      `json:"coalesced_jobs"`
-	Cache         CacheStats `json:"cache"`
+	CoalescedJobs int64 `json:"coalesced_jobs"`
+	// RejectedJobs counts submissions rejected with 429 because the
+	// bounded queue was full (admission control).
+	RejectedJobs int64      `json:"rejected_jobs"`
+	Cache        CacheStats `json:"cache"`
 	// ResultDiskHits counts LRU misses answered from the durable result
 	// store (each also appears in the cache miss counter).
 	ResultDiskHits int64 `json:"result_disk_hits"`
@@ -431,6 +457,7 @@ func (s *Server) stats() Stats {
 		Workers:        s.cfg.Workers,
 		SweepsExecuted: s.met.sweeps.Value(),
 		CoalescedJobs:  s.met.coalesced.Value(),
+		RejectedJobs:   s.met.rejected.Value(),
 		Cache:          s.cache.stats(),
 		ResultDiskHits: s.met.diskHits.Value(),
 		WarmedResults:  s.warmed,
@@ -464,6 +491,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/jobs/{id}/figure.svg", s.handleFigure)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace.svg", s.handleTraceSVG)
+	mux.HandleFunc("GET /v1/slo", s.handleSLO)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.Handle("GET /metrics", s.reg.Handler())
@@ -517,8 +546,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	job, err := s.submitTraced(spec, r.Header.Get(obs.TraceHeader))
 	switch {
 	case err == nil:
-	case errors.Is(err, errQueueFull):
+	case errors.Is(err, errShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, errQueueFull):
+		// Admission control: tell the client when a retry has a chance —
+		// the windowed p95 queue wait is how long jobs currently take to
+		// reach a worker, so retrying sooner meets the same full queue.
+		s.met.rejected.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(s.slo.retryAfterSeconds(time.Now())))
+		writeError(w, http.StatusTooManyRequests, err)
 		return
 	default:
 		var ie *inputError

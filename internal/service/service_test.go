@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -352,8 +353,8 @@ func TestCancelRunningAndQueuedJobs(t *testing.T) {
 	}
 }
 
-func TestQueueFullReturns503(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+func TestQueueFullReturns429WithRetryAfter(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
 
 	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", slowSpec())
 	if resp.StatusCode != http.StatusAccepted {
@@ -371,8 +372,17 @@ func TestQueueFullReturns503(t *testing.T) {
 	third := slowSpec()
 	third.Seed = 3
 	resp, data = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", third)
-	if resp.StatusCode != http.StatusServiceUnavailable {
+	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("submit 3 with a full queue: %d %s", resp.StatusCode, data)
+	}
+	// Admission control promises a concrete hint: Retry-After derived
+	// from the windowed p95 queue wait, floored at 1s.
+	retry, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || retry < 1 {
+		t.Fatalf("Retry-After = %q, want an integer >= 1", resp.Header.Get("Retry-After"))
+	}
+	if got := srv.Stats().RejectedJobs; got != 1 {
+		t.Fatalf("rejected_jobs = %d, want 1", got)
 	}
 	// The rejected job must not linger in the job list.
 	resp, data = doJSON(t, http.MethodGet, ts.URL+"/v1/jobs", nil)

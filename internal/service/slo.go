@@ -1,0 +1,452 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"odeproto/internal/obs"
+)
+
+// This file is the SLO engine: a declarative spec (objective + windows +
+// burn-rate thresholds, loadable from -slo-config JSON with compiled-in
+// defaults), evaluated over windowed histogram deltas into ok/warning/
+// page states — served at GET /v1/slo, mirrored as odeproto_slo_*
+// gauges, and logged as one structured line per state transition. The
+// burn-rate idiom is multi-window multi-burn-rate alerting: burn =
+// bad_fraction / (1 - objective), page when both the short and mid
+// windows burn fast, warn when both the mid and long windows burn
+// steadily.
+
+// SLOState is one SLO's alert state, ordered by severity.
+type SLOState string
+
+const (
+	SLOOk      SLOState = "ok"
+	SLOWarning SLOState = "warning"
+	SLOPage    SLOState = "page"
+)
+
+// sloStateValue maps states onto the odeproto_slo_state gauge (0/1/2).
+func sloStateValue(s SLOState) float64 {
+	switch s {
+	case SLOWarning:
+		return 1
+	case SLOPage:
+		return 2
+	}
+	return 0
+}
+
+// worseState returns the more severe of two states.
+func worseState(a, b SLOState) SLOState {
+	if sloStateValue(b) > sloStateValue(a) {
+		return b
+	}
+	return a
+}
+
+// Indicator names what an SLO measures.
+const (
+	// IndicatorLatency counts a completed job as bad when its duration
+	// exceeds the SLO's threshold (estimated from histogram buckets).
+	IndicatorLatency = "latency"
+	// IndicatorErrors counts a completed job as bad when it failed.
+	IndicatorErrors = "errors"
+)
+
+// ConfigDuration is a time.Duration that marshals as a Go duration
+// string ("5m", "6h") in the -slo-config JSON.
+type ConfigDuration time.Duration
+
+// MarshalJSON renders the duration string form.
+func (d ConfigDuration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts a Go duration string.
+func (d *ConfigDuration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("duration must be a string like \"5m\": %w", err)
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return err
+	}
+	*d = ConfigDuration(v)
+	return nil
+}
+
+// SLODef is one declarative SLO.
+type SLODef struct {
+	// Name identifies the SLO in /v1/slo, gauges, and logs.
+	Name string `json:"name"`
+	// Indicator is "latency" or "errors".
+	Indicator string `json:"indicator"`
+	// Objective is the target good fraction, e.g. 0.99.
+	Objective float64 `json:"objective"`
+	// ThresholdSeconds is the latency bound a job must finish within to
+	// count as good (latency indicator only).
+	ThresholdSeconds float64 `json:"threshold_seconds,omitempty"`
+	// ShortWindow/MidWindow/LongWindow are the three evaluation windows,
+	// strictly ascending. Paging keys on short+mid, warning on mid+long.
+	ShortWindow ConfigDuration `json:"short_window"`
+	MidWindow   ConfigDuration `json:"mid_window"`
+	LongWindow  ConfigDuration `json:"long_window"`
+	// PageBurnRate pages when both short and mid windows burn at least
+	// this multiple of the error budget.
+	PageBurnRate float64 `json:"page_burn_rate"`
+	// WarnBurnRate warns when both mid and long windows burn at least
+	// this multiple.
+	WarnBurnRate float64 `json:"warn_burn_rate"`
+}
+
+// SLOConfig is the body of -slo-config.
+type SLOConfig struct {
+	// EvalInterval is the background evaluation (and snapshot tick)
+	// cadence. Default 10s.
+	EvalInterval ConfigDuration `json:"eval_interval,omitempty"`
+	SLOs         []SLODef       `json:"slos"`
+}
+
+// DefaultSLOConfig is the compiled-in spec used when no -slo-config is
+// given: job latency (99% under 30s) and job error rate (99.9% success),
+// each over 5m/30m/6h with the standard 14.4×/3× burn-rate thresholds.
+func DefaultSLOConfig() SLOConfig {
+	window := func(def SLODef) SLODef {
+		def.ShortWindow = ConfigDuration(5 * time.Minute)
+		def.MidWindow = ConfigDuration(30 * time.Minute)
+		def.LongWindow = ConfigDuration(6 * time.Hour)
+		def.PageBurnRate = 14.4
+		def.WarnBurnRate = 3
+		return def
+	}
+	return SLOConfig{
+		EvalInterval: ConfigDuration(10 * time.Second),
+		SLOs: []SLODef{
+			window(SLODef{Name: "job_latency", Indicator: IndicatorLatency,
+				Objective: 0.99, ThresholdSeconds: 30}),
+			window(SLODef{Name: "job_errors", Indicator: IndicatorErrors,
+				Objective: 0.999}),
+		},
+	}
+}
+
+// ParseSLOConfig decodes and validates an -slo-config document. Fields
+// the document omits do NOT inherit defaults — a partial SLO is a
+// config error, caught at boot rather than evaluated as zeroes.
+func ParseSLOConfig(data []byte) (SLOConfig, error) {
+	var cfg SLOConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return SLOConfig{}, fmt.Errorf("slo config: %w", err)
+	}
+	if cfg.EvalInterval == 0 {
+		cfg.EvalInterval = ConfigDuration(10 * time.Second)
+	}
+	if err := cfg.validate(); err != nil {
+		return SLOConfig{}, fmt.Errorf("slo config: %w", err)
+	}
+	return cfg, nil
+}
+
+func (c SLOConfig) validate() error {
+	if time.Duration(c.EvalInterval) < time.Second {
+		return fmt.Errorf("eval_interval %s is below the 1s minimum", time.Duration(c.EvalInterval))
+	}
+	if len(c.SLOs) == 0 {
+		return fmt.Errorf("no slos defined")
+	}
+	seen := make(map[string]bool)
+	for i, def := range c.SLOs {
+		where := fmt.Sprintf("slo %d (%q)", i, def.Name)
+		if def.Name == "" {
+			return fmt.Errorf("slo %d: missing name", i)
+		}
+		if seen[def.Name] {
+			return fmt.Errorf("%s: duplicate name", where)
+		}
+		seen[def.Name] = true
+		switch def.Indicator {
+		case IndicatorLatency:
+			if def.ThresholdSeconds <= 0 {
+				return fmt.Errorf("%s: latency indicator needs threshold_seconds > 0", where)
+			}
+		case IndicatorErrors:
+			if def.ThresholdSeconds != 0 {
+				return fmt.Errorf("%s: threshold_seconds only applies to the latency indicator", where)
+			}
+		default:
+			return fmt.Errorf("%s: unknown indicator %q (want %s or %s)", where, def.Indicator, IndicatorLatency, IndicatorErrors)
+		}
+		if def.Objective <= 0 || def.Objective >= 1 {
+			return fmt.Errorf("%s: objective %v outside (0, 1)", where, def.Objective)
+		}
+		s, m, l := time.Duration(def.ShortWindow), time.Duration(def.MidWindow), time.Duration(def.LongWindow)
+		if s <= 0 || m <= s || l <= m {
+			return fmt.Errorf("%s: windows must be strictly ascending (short %s, mid %s, long %s)", where, s, m, l)
+		}
+		if def.WarnBurnRate <= 0 || def.PageBurnRate <= def.WarnBurnRate {
+			return fmt.Errorf("%s: need page_burn_rate > warn_burn_rate > 0 (page %v, warn %v)", where, def.PageBurnRate, def.WarnBurnRate)
+		}
+	}
+	return nil
+}
+
+// maxWindow returns the longest window any SLO evaluates — the snapshot
+// ring retention.
+func (c SLOConfig) maxWindow() time.Duration {
+	max := time.Duration(0)
+	for _, def := range c.SLOs {
+		if d := time.Duration(def.LongWindow); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// SLOWindowStatus is one window's evaluation inside an SLOStatus.
+type SLOWindowStatus struct {
+	Window string `json:"window"`
+	// CoveredSeconds is the span the window actually covers — shorter
+	// than the nominal window while the process is young.
+	CoveredSeconds float64 `json:"covered_seconds"`
+	Total          int64   `json:"total"`
+	Bad            float64 `json:"bad"`
+	BadFraction    float64 `json:"bad_fraction"`
+	BurnRate       float64 `json:"burn_rate"`
+	// P50/P95/P99 are interpolated latency quantiles (latency indicator
+	// only; zero when the window holds no observations — JSON has no NaN).
+	P50 float64 `json:"p50,omitempty"`
+	P95 float64 `json:"p95,omitempty"`
+	P99 float64 `json:"p99,omitempty"`
+}
+
+// SLOStatus is one SLO's current evaluation in GET /v1/slo.
+type SLOStatus struct {
+	Name             string            `json:"name"`
+	Indicator        string            `json:"indicator"`
+	Objective        float64           `json:"objective"`
+	ThresholdSeconds float64           `json:"threshold_seconds,omitempty"`
+	State            SLOState          `json:"state"`
+	Windows          []SLOWindowStatus `json:"windows"`
+}
+
+// SLOReport is the body of GET /v1/slo.
+type SLOReport struct {
+	GeneratedAt time.Time `json:"generated_at"`
+	// State is the worst state across all SLOs.
+	State SLOState    `json:"state"`
+	SLOs  []SLOStatus `json:"slos"`
+}
+
+// sloTransition is one SLO's state change, logged by whoever evaluated.
+type sloTransition struct {
+	name     string
+	from, to SLOState
+	burn     float64 // the short-window burn rate at transition time
+}
+
+// sloEvaluator windows the job-duration histogram, queue-wait histogram,
+// and failure counter, and evaluates the configured SLOs against them.
+// All clock inputs are explicit so tests drive it with a fake clock; the
+// serving path passes time.Now().
+type sloEvaluator struct {
+	cfg    SLOConfig
+	dur    *obs.WindowedHistogram
+	qwait  *obs.WindowedHistogram
+	failed *obs.WindowedCounter
+
+	stateGauge *obs.GaugeVec // odeproto_slo_state{slo}
+	burnGauge  *obs.GaugeVec // odeproto_slo_burn_rate{slo,window}
+	quantGauge *obs.GaugeVec // odeproto_slo_latency_seconds{slo,window,quantile}
+
+	// mu serializes evaluations: the state transition ok→page must have
+	// one owner even when the background loop and /v1/slo race. Logging
+	// of transitions happens outside this lock (callers receive them).
+	mu   sync.Mutex
+	last map[string]SLOState
+}
+
+func newSLOEvaluator(cfg SLOConfig, met *serviceMetrics, reg *obs.Registry) *sloEvaluator {
+	retention := cfg.maxWindow()
+	e := &sloEvaluator{
+		cfg:    cfg,
+		dur:    obs.NewWindowedHistogram(met.jobDuration, retention),
+		qwait:  obs.NewWindowedHistogram(met.queueWait, retention),
+		failed: obs.NewWindowedCounter(met.failed, retention),
+		stateGauge: reg.GaugeVec("odeproto_slo_state",
+			"Current alert state per SLO (0 ok, 1 warning, 2 page).", "slo"),
+		burnGauge: reg.GaugeVec("odeproto_slo_burn_rate",
+			"Error-budget burn rate per SLO and window (1.0 = burning exactly the budget).", "slo", "window"),
+		quantGauge: reg.GaugeVec("odeproto_slo_latency_seconds",
+			"Windowed latency quantiles backing the latency SLOs.", "slo", "window", "quantile"),
+		last: make(map[string]SLOState),
+	}
+	for _, def := range cfg.SLOs {
+		e.last[def.Name] = SLOOk
+		e.stateGauge.With(def.Name).Set(0)
+	}
+	return e
+}
+
+// tick records window baselines; the background loop calls it each
+// EvalInterval (on-demand /v1/slo evaluations never tick — the loop owns
+// the ring cadence).
+func (e *sloEvaluator) tick(now time.Time) {
+	e.dur.Tick(now)
+	e.qwait.Tick(now)
+	e.failed.Tick(now)
+}
+
+// evaluate computes every SLO's current state, updates the mirrored
+// gauges, and returns the report plus any state transitions. Callers log
+// the transitions — outside any lock this evaluator holds.
+func (e *sloEvaluator) evaluate(now time.Time) (SLOReport, []sloTransition) {
+	report := SLOReport{GeneratedAt: now, State: SLOOk}
+	var transitions []sloTransition
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, def := range e.cfg.SLOs {
+		st := e.evalOne(def, now)
+		report.SLOs = append(report.SLOs, st)
+		report.State = worseState(report.State, st.State)
+		if prev := e.last[def.Name]; prev != st.State {
+			e.last[def.Name] = st.State
+			transitions = append(transitions, sloTransition{
+				name: def.Name, from: prev, to: st.State, burn: st.Windows[0].BurnRate})
+		}
+		e.stateGauge.With(def.Name).Set(sloStateValue(st.State))
+	}
+	return report, transitions
+}
+
+// evalOne evaluates one SLO over its three windows.
+func (e *sloEvaluator) evalOne(def SLODef, now time.Time) SLOStatus {
+	st := SLOStatus{
+		Name:             def.Name,
+		Indicator:        def.Indicator,
+		Objective:        def.Objective,
+		ThresholdSeconds: def.ThresholdSeconds,
+		State:            SLOOk,
+	}
+	budget := 1 - def.Objective
+	windows := []struct {
+		name string
+		d    time.Duration
+	}{
+		{"short", time.Duration(def.ShortWindow)},
+		{"mid", time.Duration(def.MidWindow)},
+		{"long", time.Duration(def.LongWindow)},
+	}
+	burns := make(map[string]float64, 3)
+	for _, win := range windows {
+		snap, covered := e.dur.Window(now, win.d)
+		ws := SLOWindowStatus{
+			Window:         time.Duration(win.d).String(),
+			CoveredSeconds: covered.Seconds(),
+			Total:          snap.Count(),
+		}
+		switch def.Indicator {
+		case IndicatorLatency:
+			ws.BadFraction = snap.FractionOver(def.ThresholdSeconds)
+			ws.Bad = ws.BadFraction * float64(ws.Total)
+			for _, q := range []struct {
+				q     float64
+				field *float64
+				label string
+			}{{0.5, &ws.P50, "0.5"}, {0.95, &ws.P95, "0.95"}, {0.99, &ws.P99, "0.99"}} {
+				v := snap.Quantile(q.q)
+				if math.IsNaN(v) {
+					v = 0
+				}
+				*q.field = v
+				e.quantGauge.With(def.Name, win.name, q.label).Set(v)
+			}
+		case IndicatorErrors:
+			bad, _ := e.failed.Window(now, win.d)
+			ws.Bad = float64(bad)
+			if ws.Total > 0 {
+				ws.BadFraction = ws.Bad / float64(ws.Total)
+			}
+		}
+		ws.BurnRate = ws.BadFraction / budget
+		burns[win.name] = ws.BurnRate
+		e.burnGauge.With(def.Name, win.name).Set(ws.BurnRate)
+		st.Windows = append(st.Windows, ws)
+	}
+	switch {
+	case burns["short"] >= def.PageBurnRate && burns["mid"] >= def.PageBurnRate:
+		st.State = SLOPage
+	case burns["mid"] >= def.WarnBurnRate && burns["long"] >= def.WarnBurnRate:
+		st.State = SLOWarning
+	}
+	return st
+}
+
+// retryAfterSeconds derives the Retry-After hint for 429 responses from
+// the p95 queue wait over the shortest configured window: if jobs
+// currently wait ~p95 seconds for a worker, a retry sooner than that
+// meets the same full queue. Floor (and no-data default) 1s.
+func (e *sloEvaluator) retryAfterSeconds(now time.Time) int {
+	shortest := time.Duration(math.MaxInt64)
+	for _, def := range e.cfg.SLOs {
+		if d := time.Duration(def.ShortWindow); d < shortest {
+			shortest = d
+		}
+	}
+	snap, _ := e.qwait.Window(now, shortest)
+	p95 := snap.Quantile(0.95)
+	if math.IsNaN(p95) || p95 < 1 {
+		return 1
+	}
+	return int(math.Ceil(p95))
+}
+
+// sloLoop is the background evaluation goroutine: tick the snapshot
+// rings, evaluate, and log any transitions, every EvalInterval until the
+// server closes.
+func (s *Server) sloLoop() {
+	defer s.wg.Done()
+	interval := time.Duration(s.slo.cfg.EvalInterval)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case now := <-ticker.C:
+			s.slo.tick(now)
+			_, transitions := s.slo.evaluate(now)
+			s.logSLOTransitions(transitions)
+		}
+	}
+}
+
+// logSLOTransitions emits one structured line per SLO state change —
+// warning-level when entering warning/page, info when recovering.
+func (s *Server) logSLOTransitions(transitions []sloTransition) {
+	for _, tr := range transitions {
+		attrs := []any{"slo", tr.name, "from", string(tr.from), "to", string(tr.to),
+			"burn_rate_short", tr.burn}
+		if tr.to == SLOOk {
+			s.log.Info("slo state change", attrs...)
+		} else {
+			s.log.Warn("slo state change", attrs...)
+		}
+	}
+}
+
+// handleSLO serves GET /v1/slo: an on-demand evaluation over the rings
+// the background loop maintains. Transitions observed here are logged
+// too — the state machine has one owner (the evaluator), not two clocks.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	report, transitions := s.slo.evaluate(time.Now())
+	s.logSLOTransitions(transitions)
+	sort.Slice(report.SLOs, func(i, j int) bool { return report.SLOs[i].Name < report.SLOs[j].Name })
+	writeJSON(w, http.StatusOK, report)
+}

@@ -59,6 +59,19 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 // line a self-contained latency breakdown.
 func (s *Server) logCompletion(job *Job) {
 	st := job.Snapshot(false)
+	// Done and failed jobs feed the latency-SLO histogram (with the trace
+	// as the bucket exemplar); failures additionally feed the error-rate
+	// SLO. Cancellations are neither success nor failure and observe
+	// nothing.
+	if st.Finished != nil {
+		switch st.Status {
+		case StatusFailed:
+			s.met.failed.Inc()
+			fallthrough
+		case StatusDone:
+			s.met.jobDuration.ObserveTraced(st.Finished.Sub(st.Created).Seconds(), st.Trace)
+		}
+	}
 	attrs := []any{
 		"trace", st.Trace,
 		"job", st.ID,
