@@ -548,6 +548,7 @@ func TestClusterEndToEnd(t *testing.T) {
 
 	var first []byte
 	var sweeps int64
+	wantETag := `"` + key + `"`
 	for i, base := range bases {
 		resp, err := http.Get(base + "/v1/results/" + key)
 		if err != nil {
@@ -558,10 +559,36 @@ func TestClusterEndToEnd(t *testing.T) {
 		if err != nil || resp.StatusCode != http.StatusOK {
 			t.Fatalf("GET result via node %d: %d %v", i, resp.StatusCode, err)
 		}
+		// The content address is the validator on every node — including
+		// the ones that proxied this GET to the key's owner.
+		if got := resp.Header.Get("ETag"); got != wantETag {
+			t.Fatalf("result ETag via node %d = %q, want %q", i, got, wantETag)
+		}
 		if first == nil {
 			first = body
 		} else if !bytes.Equal(first, body) {
 			t.Fatalf("result bytes differ between nodes")
+		}
+
+		// A conditional GET with the current validator answers 304 through
+		// any node: at least two of these three hops are forwarded, so this
+		// pins If-None-Match propagation across the proxy.
+		req, err := http.NewRequest(http.MethodGet, base+"/v1/results/"+key, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("If-None-Match", wantETag)
+		resp, err = http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		notModifiedBody, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusNotModified || len(notModifiedBody) != 0 {
+			t.Fatalf("conditional GET via node %d: %d with %d bytes, want bodiless 304", i, resp.StatusCode, len(notModifiedBody))
 		}
 
 		var stats struct {

@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -172,6 +173,12 @@ func New(cfg Config) (*Router, error) {
 		MaxIdleConns:        64,
 		MaxIdleConnsPerHost: 16,
 		IdleConnTimeout:     90 * time.Second,
+		// The router is a proxy, not a client: the transport must neither
+		// inject its own Accept-Encoding: gzip nor transparently decompress
+		// (which would strip Content-Encoding/Length and re-buffer bodies).
+		// forward() passes the client's own Accept-Encoding through, and
+		// relay copies the owner's response — compressed or not — verbatim.
+		DisableCompression: true,
 	}
 	rt := &Router{
 		ring:          newRing(nodes, vnodes),
@@ -374,15 +381,11 @@ func (rt *Router) routeByKey(w http.ResponseWriter, r *http.Request, key string,
 			if n == order[0] {
 				rt.met.ownerLocal.Inc()
 			}
-			if retryOn404 {
-				// Peek locally; fall through to successors on a miss.
-				rec := newRecorder()
-				rt.serveLocal(rec, r, body)
-				if rec.status == http.StatusNotFound && i < len(candidates)-1 {
-					continue
-				}
-				rec.flushTo(w)
-				return
+			if retryOn404 && i < len(candidates)-1 && !rt.svc.HasResult(key) {
+				// A cheap presence probe (LRU map lookup, else a blob open)
+				// decides the fall-through — the response itself streams
+				// straight to the client, never into a buffering recorder.
+				continue
 			}
 			rt.serveLocal(w, r, body)
 			return
@@ -468,6 +471,16 @@ func (rt *Router) forward(r *http.Request, addr string, body []byte) (*http.Resp
 	}
 	if tid := r.Header.Get(obs.TraceHeader); tid != "" {
 		req.Header.Set(obs.TraceHeader, tid)
+	}
+	// Conditional-GET and content-negotiation headers pass through so the
+	// owner can answer 304s and serve its cached gzip variant; relay then
+	// copies ETag/Content-Encoding back verbatim (the transport never
+	// decompresses — DisableCompression).
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	if ae := r.Header.Get("Accept-Encoding"); ae != "" {
+		req.Header.Set("Accept-Encoding", ae)
 	}
 	req.Header.Set(headerForwarded, rt.fp)
 	start := time.Now()
@@ -564,33 +577,17 @@ func (rt *Router) handleStats(w http.ResponseWriter) {
 	}{rt.svc.Stats(), rt.Stats()})
 }
 
+// writeJSON buffers the encoded body so router-originated responses carry
+// an exact Content-Length, matching the service's own framing.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-// recorder buffers a local response so routeByKey can peek at the status
-// before deciding to relay it or fall through to a successor. Only the
-// result-fetch path uses it, where responses are small JSON bodies.
-type recorder struct {
-	header http.Header
-	status int
-	buf    bytes.Buffer
-}
-
-func newRecorder() *recorder { return &recorder{header: make(http.Header), status: http.StatusOK} }
-
-func (rec *recorder) Header() http.Header         { return rec.header }
-func (rec *recorder) WriteHeader(status int)      { rec.status = status }
-func (rec *recorder) Write(p []byte) (int, error) { return rec.buf.Write(p) }
-
-func (rec *recorder) flushTo(w http.ResponseWriter) {
-	for k, vs := range rec.header {
-		for _, v := range vs {
-			w.Header().Add(k, v)
-		}
+	data, err := json.Marshal(v)
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		return
 	}
-	w.WriteHeader(rec.status)
-	_, _ = w.Write(rec.buf.Bytes())
+	data = append(data, '\n')
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(status)
+	_, _ = w.Write(data)
 }

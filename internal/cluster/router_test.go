@@ -2,11 +2,13 @@ package cluster
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -342,6 +344,87 @@ func TestClusterOwnerDownFailover(t *testing.T) {
 	code, body = getBody(t, nodes[(owner+2)%3].base()+"/v1/results/"+key)
 	if code != http.StatusOK {
 		t.Fatalf("GET result with dead owner: %d %s", code, body)
+	}
+}
+
+// TestClusterForwardedConditionalGet pins the proxy's pass-through of the
+// result data plane's HTTP semantics: a result GET through a non-owner
+// carries the owner's strong ETag, If-None-Match answers 304 across the
+// forwarded hop without a body, and Accept-Encoding: gzip comes back
+// compressed — decompressing to the exact bytes the owner serves.
+func TestClusterForwardedConditionalGet(t *testing.T) {
+	nodes := startTestCluster(t, 3)
+	key := specKey(t, nodes[0].svc, 7)
+	owner := nodes[0].rt.ring.owner(key)
+	forwarder := nodes[(owner+1)%3]
+
+	code, body := postJSON(t, forwarder.base()+"/v1/jobs", testSpec(7))
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	pollDone(t, forwarder.base(), st.ID, time.Minute)
+
+	rawGet := func(hdr map[string]string) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, forwarder.base()+"/v1/results/"+key, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Accept-Encoding", "identity")
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, out
+	}
+
+	wantETag := `"` + key + `"`
+	resp, canonical := rawGet(nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded result GET: %d %s", resp.StatusCode, canonical)
+	}
+	if got := resp.Header.Get("ETag"); got != wantETag {
+		t.Fatalf("forwarded ETag = %q, want %q", got, wantETag)
+	}
+	if got := resp.Header.Get("Content-Length"); got != strconv.Itoa(len(canonical)) {
+		t.Fatalf("forwarded Content-Length = %q for %d body bytes", got, len(canonical))
+	}
+
+	// Conditional GET through the forwarding hop: the validator travels
+	// with the proxied request, and the 304 travels back bodiless.
+	resp, body = rawGet(map[string]string{"If-None-Match": wantETag})
+	if resp.StatusCode != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("forwarded conditional GET: %d with %d bytes, want bodiless 304", resp.StatusCode, len(body))
+	}
+
+	// Gzip negotiation survives the hop: the proxy neither strips the
+	// request header nor decompresses the response.
+	resp, gz := rawGet(map[string]string{"Accept-Encoding": "gzip"})
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatalf("forwarded gzip GET: %d, Content-Encoding %q", resp.StatusCode, resp.Header.Get("Content-Encoding"))
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(gz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, canonical) {
+		t.Fatal("forwarded gzip body does not decompress to the owner's canonical bytes")
 	}
 }
 

@@ -24,6 +24,11 @@ var responseWriterPaths = []string{
 //   - Close and Flush on writers (types satisfying io.Writer with an
 //     error-returning Close/Flush, e.g. a bufio.Writer or gzip.Writer):
 //     the final buffer flush happens inside the dropped call;
+//   - Close on store result-reader handles (variables assigned from a
+//     GetResultReader call): the handle is an interface over an open fd
+//     per in-flight response, and the backend behind it is free to verify
+//     or release on Close — a bare Close hides whether the leak-free
+//     contract of the streaming read path was considered;
 //   - http.ResponseWriter writes inside loops in the streaming packages:
 //     a stream loop that ignores write errors keeps simulating rows for a
 //     client that hung up.
@@ -51,6 +56,7 @@ func runClosecheck(pass *Pass) error {
 				continue
 			}
 			readOnly := readOnlyFiles(pass, fd)
+			readers := readerHandles(pass, fd)
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				var call *ast.CallExpr
 				switch n := n.(type) {
@@ -62,7 +68,7 @@ func runClosecheck(pass *Pass) error {
 					return true
 				}
 				if call != nil {
-					checkDroppedError(pass, call, readOnly)
+					checkDroppedError(pass, call, readOnly, readers)
 				}
 				if checkRW {
 					checkStreamLoop(pass, n)
@@ -76,7 +82,7 @@ func runClosecheck(pass *Pass) error {
 
 // checkDroppedError flags one statement-position call if it is a
 // Close/Sync/Flush whose error matters.
-func checkDroppedError(pass *Pass, call *ast.CallExpr, readOnly map[types.Object]bool) {
+func checkDroppedError(pass *Pass, call *ast.CallExpr, readOnly, readers map[types.Object]bool) {
 	fn := calleeFunc(pass.Info, call)
 	if fn == nil || !methodHasErrorResult(fn) {
 		return
@@ -102,6 +108,10 @@ func checkDroppedError(pass *Pass, call *ast.CallExpr, readOnly map[types.Object
 				return // closing a read-only handle cannot lose data
 			}
 			pass.Reportf(call.Pos(), "unchecked error from (*os.File).Close on a writable file: the kernel may surface the final write failure here; check it (or assign to _ with intent on error-cleanup paths)")
+			return
+		}
+		if obj := receiverObject(pass, sel.X); obj != nil && readers[obj] {
+			pass.Reportf(call.Pos(), "unchecked error from Close on a store result-reader handle: the reader holds an open fd per in-flight response; check it, or assign to _ to record that the discard is intentional")
 			return
 		}
 		if tv, ok := pass.Info.Types[sel.X]; ok && implementsWriter(tv.Type) {
@@ -145,6 +155,38 @@ func readOnlyFiles(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
 		}
 		fn := calleeFunc(pass.Info, call)
 		if !isPkgFunc(fn, "os", "Open") {
+			return true
+		}
+		if len(as.Lhs) > 0 {
+			if obj := receiverObject(pass, as.Lhs[0]); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// readerHandles scans a function for assignments whose right-hand side is
+// a call to a method or function named GetResultReader — the store's
+// streaming read API. The handles it returns are io.ReadClosers the
+// caller owns, and their Close is held to the same explicit-discard rule
+// as writable files (the name-based match mirrors readOnlyFiles: local
+// assignments only, the conservative direction for handles of unknown
+// provenance).
+func readerHandles(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Name() != "GetResultReader" {
 			return true
 		}
 		if len(as.Lhs) > 0 {

@@ -3,9 +3,18 @@ package service
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 )
+
+// resultStore mimics the store's streaming read API: the returned handle
+// is an open fd the caller owns.
+type resultStore struct{}
+
+func (resultStore) GetResultReader(key string) (io.ReadCloser, int64, error) {
+	return nil, 0, nil
+}
 
 func writeAll(path string, data []byte) error {
 	f, err := os.Create(path)
@@ -43,4 +52,23 @@ func stream(w http.ResponseWriter, rows []string) {
 	for _, r := range rows {
 		fmt.Fprintln(w, r) // want `unchecked http\.ResponseWriter write inside a streaming loop`
 	}
+}
+
+func serveResult(w io.Writer, st resultStore, key string) error {
+	rc, _, err := st.GetResultReader(key)
+	if err != nil {
+		return err
+	}
+	defer rc.Close() // want `unchecked error from Close on a store result-reader handle`
+	_, err = io.Copy(w, rc)
+	return err
+}
+
+func probeResult(st resultStore, key string) bool {
+	rc, _, err := st.GetResultReader(key)
+	if err != nil {
+		return false
+	}
+	rc.Close() // want `unchecked error from Close on a store result-reader handle`
+	return true
 }

@@ -2,9 +2,18 @@ package service
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 )
+
+// goodStore mirrors the store's streaming read API for the reader-handle
+// cases below.
+type goodStore struct{}
+
+func (goodStore) GetResultReader(key string) (io.ReadCloser, int64, error) {
+	return nil, 0, nil
+}
 
 // checkedClose checks every durability-bearing error; the error-path
 // closes discard explicitly with _ = because the first error owns the
@@ -36,6 +45,29 @@ func readOnlyClose(path string) ([]byte, error) {
 	buf := make([]byte, 16)
 	n, _ := f.Read(buf)
 	return buf[:n], nil
+}
+
+// checkedReaderClose: a store result-reader handle closed with the
+// explicit-discard idiom (probe path) or a checked error (copy path).
+func checkedReaderClose(w io.Writer, st goodStore, key string) error {
+	rc, _, err := st.GetResultReader(key)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = rc.Close() }()
+	_, err = io.Copy(w, rc)
+	return err
+}
+
+// probeReaderClose discards the probe close explicitly: the handle was
+// only opened to test existence.
+func probeReaderClose(st goodStore, key string) bool {
+	rc, _, err := st.GetResultReader(key)
+	if err != nil {
+		return false
+	}
+	_ = rc.Close()
+	return true
 }
 
 // checkedStream stops streaming the moment the client hangs up.

@@ -8,10 +8,11 @@ import (
 )
 
 // resultCache is the content-addressed result store: an LRU map from
-// canonical request hash to the finished JobResult. Entries are immutable
-// once inserted — handlers serve the shared pointer directly — which is
-// sound because sweep output is byte-identical for a fixed key (the key
-// includes the seed derivation and the shard count K).
+// canonical request hash to the finished result's encode-once blob.
+// Entries are immutable once inserted — handlers serve the shared blob's
+// bytes directly — which is sound because sweep output is byte-identical
+// for a fixed key (the key includes the seed derivation and the shard
+// count K).
 type resultCache struct {
 	mu      sync.Mutex
 	max     int
@@ -25,8 +26,8 @@ type resultCache struct {
 }
 
 type cacheEntry struct {
-	key string
-	res *JobResult
+	key  string
+	blob *resultBlob
 }
 
 func newResultCache(max int, hits, misses *obs.Counter) *resultCache {
@@ -42,9 +43,9 @@ func newResultCache(max int, hits, misses *obs.Counter) *resultCache {
 	}
 }
 
-// get returns the cached result for key, marking it most recently used
-// and counting the lookup in the hit/miss stats.
-func (c *resultCache) get(key string) (*JobResult, bool) {
+// get returns the cached blob for key, marking it most recently used and
+// counting the lookup in the hit/miss stats.
+func (c *resultCache) get(key string) (*resultBlob, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
@@ -54,13 +55,14 @@ func (c *resultCache) get(key string) (*JobResult, bool) {
 	}
 	c.hits.Inc()
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	return el.Value.(*cacheEntry).blob, true
 }
 
 // peek is get without touching the hit/miss counters, for the worker's
-// at-pickup re-check: that lookup retries a miss Submit already counted,
-// and counting it again would halve the reported hit ratio.
-func (c *resultCache) peek(key string) (*JobResult, bool) {
+// at-pickup re-check and for GET /v1/results/{key} (the worker's lookup
+// retries a miss Submit already counted; the result endpoint is addressed
+// by key, not by spec, so it is not a cache-policy event).
+func (c *resultCache) peek(key string) (*resultBlob, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
@@ -68,20 +70,29 @@ func (c *resultCache) peek(key string) (*JobResult, bool) {
 		return nil, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	return el.Value.(*cacheEntry).blob, true
 }
 
-// put inserts (or refreshes) a result, evicting the least recently used
+// contains reports presence without touching recency or the counters, for
+// the cluster's local-availability probe.
+func (c *resultCache) contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// put inserts (or refreshes) a blob, evicting the least recently used
 // entry beyond the capacity bound.
-func (c *resultCache) put(key string, res *JobResult) {
+func (c *resultCache) put(key string, blob *resultBlob) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).res = res
+		el.Value.(*cacheEntry).blob = blob
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, blob: blob})
 	for c.order.Len() > c.max {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"odeproto/internal/plot"
 )
@@ -22,6 +23,15 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	if st.Status != StatusDone || st.Result == nil {
 		writeError(w, http.StatusConflict,
 			fmt.Errorf("job %s is %s; figures render once it is done", st.ID, st.Status))
+		return
+	}
+	// A done job's figure is a pure function of the job ID (the title) and
+	// its immutable result, so the composite is a strong ETag — checked
+	// before the render, which is the expensive part of this endpoint.
+	etag := `"f:` + st.ID + `:` + st.CacheKey + `"`
+	w.Header().Set("ETag", etag)
+	if ifNoneMatchHit(r, etag) {
+		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	res := st.Result
@@ -44,7 +54,9 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		}
 		chart.AddLine(state, xs, ys)
 	}
+	svg := chart.SVG()
 	w.Header().Set("Content-Type", "image/svg+xml")
+	w.Header().Set("Content-Length", strconv.Itoa(len(svg)))
 	w.WriteHeader(http.StatusOK)
-	_, _ = io.WriteString(w, chart.SVG())
+	_, _ = io.WriteString(w, svg)
 }

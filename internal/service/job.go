@@ -63,7 +63,7 @@ type Job struct {
 	status   Status
 	errMsg   string
 	cached   bool
-	result   *JobResult
+	result   *resultBlob
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -118,6 +118,29 @@ type JobStatus struct {
 	// Trace is the job's trace ID (X-Odeproto-Trace); empty only for
 	// jobs recovered from WAL records written before tracing existed.
 	Trace string `json:"trace,omitempty"`
+
+	// resultRaw is the result's canonical encoding, spliced verbatim into
+	// the status JSON by MarshalJSON so GET /v1/jobs/{id} never re-encodes
+	// a result (Result stays populated for in-process callers).
+	resultRaw json.RawMessage
+}
+
+// MarshalJSON splices the canonical result bytes into the status envelope
+// when the snapshot carries them: the result portion of the response is
+// then a copy of the encode-once buffer, not a fresh json.Marshal of the
+// decoded struct. Statuses without raw bytes marshal field-by-field as
+// before.
+func (st JobStatus) MarshalJSON() ([]byte, error) {
+	type alias JobStatus // drops the method set; plain marshal below
+	if len(st.resultRaw) == 0 {
+		return marshalNoEscape(alias(st))
+	}
+	// The depth-0 RawMessage field shadows the embedded alias's Result, so
+	// the decoded struct is never re-encoded.
+	return marshalNoEscape(struct {
+		alias
+		Result json.RawMessage `json:"result,omitempty"`
+	}{alias: alias(st), Result: st.resultRaw})
 }
 
 // statusLocked assembles the wire status; callers hold j.mu.
@@ -146,8 +169,14 @@ func (j *Job) statusLocked(includeResult bool) JobStatus {
 		t := j.finished
 		st.Finished = &t
 	}
-	if includeResult && j.status == StatusDone {
-		st.Result = j.result
+	if includeResult && j.status == StatusDone && j.result != nil {
+		// The raw splice serves the HTTP path; the decoded struct (memoized
+		// on the blob, at most one unmarshal per blob ever) serves in-process
+		// callers like the figure renderer.
+		if res, err := j.result.result(); err == nil {
+			st.Result = res
+			st.resultRaw = j.result.data
+		}
 	}
 	return st
 }
@@ -162,7 +191,7 @@ func (j *Job) Snapshot(includeResult bool) JobStatus {
 // finish moves the job to a terminal state and closes its stream. It must
 // be called exactly once per job, by whoever owns the transition (the
 // worker, or Cancel for still-queued jobs).
-func (j *Job) finish(status Status, res *JobResult, errMsg string, cached bool) {
+func (j *Job) finish(status Status, res *resultBlob, errMsg string, cached bool) {
 	j.mu.Lock()
 	j.status = status
 	j.result = res
@@ -357,15 +386,19 @@ func (s *Server) runJob(job *Job) {
 	// re-check before simulating (peek: Submit already counted this job's
 	// miss).
 	if cacheable {
-		if res, ok := s.peekResult(key); ok {
+		if blob, ok := s.peekResult(key); ok {
 			job.status = StatusRunning
 			job.started = time.Now()
 			job.mu.Unlock()
 			s.met.queueWait.ObserveTraced(job.started.Sub(job.created).Seconds(), job.traceID())
 			s.journal(store.JobRecord{Op: store.OpRunning, ID: job.ID, Key: key, Trace: job.traceID(),
 				StartedAt: job.started.UnixNano()})
-			fillRowsFromResult(job.rows, res)
-			job.finish(StatusDone, res, "", true)
+			// Eager replay, unlike the submit-time hit: stream readers may
+			// already be blocked in wait() on this live job, and only a new
+			// reader would materialize a deferred replay. The rows are the
+			// blob's memoized render, so the copy is pointer-sized per row.
+			job.rows.appendRendered(blob.streamRows())
+			job.finish(StatusDone, blob, "", true)
 			job.traceAdd(obs.StageResponded)
 			s.journal(store.JobRecord{Op: store.OpDone, ID: job.ID, Key: key, Cached: true, Trace: job.traceID(),
 				FinishedAt: time.Now().UnixNano()})
@@ -391,8 +424,11 @@ func (s *Server) runJob(job *Job) {
 	switch {
 	case err == nil:
 		job.traceAdd(obs.StageSwept)
+		// The one encode: these bytes are what the store persists and what
+		// every future read of this result serves.
+		blob := newResultBlob(key, res)
 		if cacheable {
-			if perr := s.persistResult(key, res); perr != nil {
+			if perr := s.persistResult(blob); perr != nil {
 				// Durability is part of "done": a result that cannot be
 				// stored fails the job rather than silently losing the
 				// crash-recovery guarantee.
@@ -401,10 +437,10 @@ func (s *Server) runJob(job *Job) {
 					Error: perr.Error(), FinishedAt: time.Now().UnixNano()})
 				break
 			}
-			s.cache.put(key, res)
+			s.cache.put(key, blob)
 			job.traceAdd(obs.StagePersisted)
 		}
-		job.finish(StatusDone, res, "", false)
+		job.finish(StatusDone, blob, "", false)
 		s.journal(store.JobRecord{Op: store.OpDone, ID: job.ID, Key: key, Trace: job.traceID(),
 			FinishedAt: time.Now().UnixNano()})
 	case ctx.Err() != nil:
@@ -421,28 +457,15 @@ func (s *Server) runJob(job *Job) {
 	s.dropInflight(job)
 }
 
-// persistResult writes a completed result to the durable store under its
-// content address.
-func (s *Server) persistResult(key string, res *JobResult) error {
-	data, err := json.Marshal(res)
-	if err != nil {
-		return fmt.Errorf("encoding result: %w", err)
-	}
-	if err := s.store.PutResult(key, data); err != nil {
+// persistResult writes a completed result's canonical bytes to the
+// durable store under their content address, after which the blob is
+// persistable (its gzip variant may be stored as a sibling).
+func (s *Server) persistResult(blob *resultBlob) error {
+	if err := s.store.PutResult(blob.key, blob.data); err != nil {
 		return fmt.Errorf("persisting result: %w", err)
 	}
+	blob.persistable = true
 	return nil
-}
-
-// fillRowsFromResult replays a cached result into a fresh job's stream
-// buffer, so /stream behaves identically for cache hits.
-func fillRowsFromResult(rows *rowBuffer, res *JobResult) {
-	for i := range res.Runs {
-		run := &res.Runs[i]
-		for _, row := range run.Rows {
-			rows.append(StreamRow{Run: i, Seed: run.Seed, Period: row.Period, Counts: row.Counts})
-		}
-	}
 }
 
 // Cancel aborts a job. Queued jobs terminate immediately; running jobs

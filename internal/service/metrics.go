@@ -20,6 +20,8 @@ type serviceMetrics struct {
 	cacheMisses  *obs.Counter
 	diskHits     *obs.Counter
 	storeErrs    *obs.Counter
+	encodesSaved *obs.Counter
+	bytesServed  *obs.Counter
 	queueWait    *obs.Histogram
 	jobDuration  *obs.Histogram
 	sweepLatency *obs.HistogramVec
@@ -45,6 +47,10 @@ func newServiceMetrics(r *obs.Registry) *serviceMetrics {
 			"LRU misses answered from the durable result store."),
 		storeErrs: r.Counter("odeproto_store_errors_total",
 			"Store faults absorbed by the service (failed WAL appends, unreadable result blobs)."),
+		encodesSaved: r.Counter("odeproto_result_encodes_saved_total",
+			"Result reads served from the encode-once canonical bytes with no per-request JSON marshal: cache-hit result GETs (304s included) and job statuses spliced from the shared buffer."),
+		bytesServed: r.Counter("odeproto_result_bytes_served_total",
+			"Result payload bytes written to clients by the result data plane (compressed size for gzip responses)."),
 		queueWait: r.Histogram("odeproto_queue_wait_seconds",
 			"Time jobs spent queued before a worker picked them up.", obs.DefBuckets),
 		jobDuration: r.Histogram("odeproto_job_duration_seconds",

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -38,9 +40,9 @@ func specJSON(spec *JobSpec) json.RawMessage {
 // result store, so completed sweeps survive restarts. The LRU hit/miss
 // counters see the lookup (a disk hit therefore counts as both a cache
 // miss and a disk hit); disk hits are promoted into the LRU.
-func (s *Server) lookupResult(key string) (*JobResult, bool) {
-	if res, ok := s.cache.get(key); ok {
-		return res, true
+func (s *Server) lookupResult(key string) (*resultBlob, bool) {
+	if blob, ok := s.cache.get(key); ok {
+		return blob, true
 	}
 	return s.resultFromStore(key)
 }
@@ -48,14 +50,19 @@ func (s *Server) lookupResult(key string) (*JobResult, bool) {
 // peekResult is lookupResult without touching the LRU hit/miss counters,
 // for the worker's at-pickup re-check (that lookup retries a miss Submit
 // already counted).
-func (s *Server) peekResult(key string) (*JobResult, bool) {
-	if res, ok := s.cache.peek(key); ok {
-		return res, true
+func (s *Server) peekResult(key string) (*resultBlob, bool) {
+	if blob, ok := s.cache.peek(key); ok {
+		return blob, true
 	}
 	return s.resultFromStore(key)
 }
 
-func (s *Server) resultFromStore(key string) (*JobResult, bool) {
+// resultFromStore loads a stored blob's bytes into the LRU without
+// decoding them — a cheap json.Valid scan stands in for the old full
+// unmarshal, since the bytes are spliced verbatim into response envelopes
+// and must at least be well-formed JSON. The struct is decoded lazily,
+// once, if a handler ever needs it.
+func (s *Server) resultFromStore(key string) (*resultBlob, bool) {
 	data, err := s.store.GetResult(key)
 	if err != nil {
 		// A plain miss is normal; an I/O failure or a blob the WAL claims
@@ -66,15 +73,16 @@ func (s *Server) resultFromStore(key string) (*JobResult, bool) {
 		}
 		return nil, false
 	}
-	res := new(JobResult)
-	if err := json.Unmarshal(data, res); err != nil {
+	if !json.Valid(data) {
 		s.met.storeErrs.Inc() // corrupt blob
-		s.log.Warn("result blob corrupt", "key", key, "err", err)
+		s.log.Warn("result blob corrupt", "key", key)
 		return nil, false
 	}
 	s.met.diskHits.Inc()
-	s.cache.put(key, res)
-	return res, true
+	blob := newResultBlobFromBytes(key, data)
+	blob.persistable = true // these bytes came from the store
+	s.cache.put(key, blob)
+	return blob, true
 }
 
 // restartableErr marks jobs the WAL caught mid-run: the sweep died with
@@ -128,19 +136,20 @@ func (s *Server) recoverJobs() []restartableJob {
 		}
 	}
 	// Load oldest-first so the newest result ends most recently used.
-	loaded := make(map[string]*JobResult)
+	// Warming loads bytes only — a json.Valid scan instead of an unmarshal
+	// per blob — so startup cost is I/O, not decoding; blobs decode lazily
+	// if a handler ever needs the struct.
+	loaded := make(map[string]*resultBlob)
 	for i := len(chosen) - 1; i >= 0; i-- {
 		key := chosen[i]
 		data, err := s.store.GetResult(key)
-		if err != nil {
+		if err != nil || !json.Valid(data) {
 			continue
 		}
-		res := new(JobResult)
-		if err := json.Unmarshal(data, res); err != nil {
-			continue
-		}
-		s.cache.put(key, res)
-		loaded[key] = res
+		blob := newResultBlobFromBytes(key, data)
+		blob.persistable = true
+		s.cache.put(key, blob)
+		loaded[key] = blob
 	}
 	s.warmed = len(loaded)
 
@@ -174,7 +183,7 @@ func (s *Server) recoverJobs() []restartableJob {
 		if rj.FinishedAt != 0 {
 			job.finished = time.Unix(0, rj.FinishedAt)
 		}
-		var res *JobResult
+		var blob *resultBlob
 		switch {
 		case rj.Interrupted:
 			job.status = StatusFailed
@@ -187,10 +196,11 @@ func (s *Server) recoverJobs() []restartableJob {
 		case rj.Status == store.OpDone:
 			job.status = StatusDone
 			job.cached = rj.Cached
-			// Warmed results re-attach eagerly; colder ones reload from
-			// disk when something asks (snapshotJob).
-			res = loaded[rj.Key]
-			job.result = res
+			// Warmed blobs re-attach eagerly (bytes only — no decode);
+			// colder ones reload from disk when something asks
+			// (snapshotJob).
+			blob = loaded[rj.Key]
+			job.result = blob
 		case rj.Status == store.OpFailed:
 			job.status = StatusFailed
 			job.errMsg = rj.Error
@@ -198,7 +208,7 @@ func (s *Server) recoverJobs() []restartableJob {
 			job.status = StatusCancelled
 			job.errMsg = rj.Error
 		}
-		job.rows.replayResult(res, job.status)
+		job.rows.replayBlob(blob, job.status)
 		close(job.done)
 		s.jobs[job.ID] = job
 		s.order = append(s.order, job.ID)
@@ -261,13 +271,16 @@ func (s *Server) idNumber(id string) int {
 func (s *Server) snapshotJob(job *Job, includeResult bool) JobStatus {
 	st := job.Snapshot(includeResult)
 	if includeResult && st.Status == StatusDone && st.Result == nil && job.Key != "" {
-		if res, ok := s.peekResult(job.Key); ok {
+		if blob, ok := s.peekResult(job.Key); ok {
 			job.mu.Lock()
 			if job.result == nil {
-				job.result = res
+				job.result = blob
 			}
 			job.mu.Unlock()
-			st.Result = res
+			if res, err := blob.result(); err == nil {
+				st.Result = res
+				st.resultRaw = blob.data
+			}
 		}
 	}
 	return st
@@ -288,22 +301,43 @@ func (s *Server) dropInflight(job *Job) {
 // handleResult serves a persisted result directly by its cache key (the
 // "cache_key" of every job status): 200 with the result JSON when the key
 // is in the LRU or the durable store, 404 otherwise. Both paths write the
-// same bytes — the stored blob is the canonical encoding the LRU path
-// re-marshals to.
+// same bytes — the canonical encode-once blob — and both negotiate the
+// same HTTP semantics: a strong ETag (the content address), If-None-Match
+// → 304 before any result bytes are touched, gzip when the client asked
+// for it, and an exact Content-Length. The LRU path copies the shared
+// in-memory buffer; the disk path answers gzip from the persisted sibling
+// blob and otherwise streams the identity bytes via the store's reader,
+// never buffering a whole blob just to forward it.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
-	if res, ok := s.cache.peek(key); ok {
-		data, err := json.Marshal(res)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write(data)
+	if blob, ok := s.cache.peek(key); ok {
+		s.serveResultBlob(w, r, blob)
 		return
 	}
-	data, err := s.store.GetResult(key)
+
+	etag := etagForKey(key)
+	if acceptsGzip(r) {
+		// A persisted gzip sibling implies the canonical blob exists: the
+		// sibling is only ever written after PutResult succeeded.
+		if gz, err := s.store.GetResultGzip(key); err == nil {
+			h := w.Header()
+			h.Set("ETag", etag)
+			h.Set("Vary", "Accept-Encoding")
+			if ifNoneMatchHit(r, etag) {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+			h.Set("Content-Type", "application/json")
+			h.Set("Content-Encoding", "gzip")
+			h.Set("Content-Length", strconv.Itoa(len(gz)))
+			w.WriteHeader(http.StatusOK)
+			n, _ := w.Write(gz)
+			s.met.bytesServed.Add(int64(n))
+			return
+		}
+	}
+
+	rc, size, err := s.store.GetResultReader(key)
 	switch {
 	case err == nil:
 	case errors.Is(err, store.ErrNotFound):
@@ -315,7 +349,18 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("reading result %q: %w", key, err))
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	defer func() { _ = rc.Close() }()
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set("Vary", "Accept-Encoding")
+	if ifNoneMatchHit(r, etag) {
+		// The open confirmed the representation exists; no bytes were read.
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.FormatInt(size, 10))
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(data)
+	n, _ := io.Copy(w, rc)
+	s.met.bytesServed.Add(n)
 }

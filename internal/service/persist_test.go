@@ -503,7 +503,12 @@ type failingStore struct{}
 func (failingStore) Append(rec store.JobRecord) error        { return nil }
 func (failingStore) PutResult(key string, data []byte) error { return fmt.Errorf("disk full") }
 func (failingStore) GetResult(key string) ([]byte, error)    { return nil, store.ErrNotFound }
-func (failingStore) Recovered() []store.RecoveredJob         { return nil }
-func (failingStore) Compact() error                          { return nil }
-func (failingStore) Stats() store.Stats                      { return store.Stats{Backend: "failing"} }
-func (failingStore) Close() error                            { return nil }
+func (failingStore) GetResultReader(key string) (io.ReadCloser, int64, error) {
+	return nil, 0, store.ErrNotFound
+}
+func (failingStore) PutResultGzip(key string, data []byte) error { return fmt.Errorf("disk full") }
+func (failingStore) GetResultGzip(key string) ([]byte, error)    { return nil, store.ErrNotFound }
+func (failingStore) Recovered() []store.RecoveredJob             { return nil }
+func (failingStore) Compact() error                              { return nil }
+func (failingStore) Stats() store.Stats                          { return store.Stats{Backend: "failing"} }
+func (failingStore) Close() error                                { return nil }

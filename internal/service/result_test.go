@@ -1,0 +1,293 @@
+package service
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"odeproto/internal/store"
+)
+
+// newFileBackedServer boots a test server over an explicit file store, so
+// the disk-fallback paths exist regardless of ODEPROTO_TEST_DATA.
+func newFileBackedServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	fst, err := store.Open(filepath.Join(t.TempDir(), "data"), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fst.Close() }) // runs after the server cleanup below
+	cfg.Store = fst
+	srv, ts := newTestServer(t, cfg)
+	return srv, ts.URL
+}
+
+// rawGet issues a GET with explicit headers. Setting Accept-Encoding by
+// hand also disables the transport's transparent gunzip, so tests see the
+// wire bytes; absent an explicit choice the request pins identity — the
+// default transport would otherwise negotiate gzip on its own and hide
+// the Content-Length/Content-Encoding headers under test.
+func rawGet(t *testing.T, url string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept-Encoding", "identity")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// dropFromCache evicts one key from the LRU, forcing the next result GET
+// onto the disk-fallback path.
+func dropFromCache(srv *Server, key string) {
+	srv.cache.mu.Lock()
+	defer srv.cache.mu.Unlock()
+	if el, ok := srv.cache.entries[key]; ok {
+		srv.cache.order.Remove(el)
+		delete(srv.cache.entries, key)
+	}
+}
+
+// runSmallJob submits smallSpec and returns its terminal status.
+func runSmallJob(t *testing.T, base string) JobStatus {
+	t.Helper()
+	resp, data := doJSON(t, http.MethodPost, base+"/v1/jobs", smallSpec())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	return waitStatus(t, base, decodeStatus(t, data).ID, StatusDone, 30*time.Second)
+}
+
+// TestResultBytesIdenticalAcrossPaths pins the encode-once contract: the
+// LRU-hit result GET, the disk-fallback result GET, and the result spliced
+// into the job-status envelope all serve the same canonical bytes — the
+// single json.Marshal performed at completion.
+func TestResultBytesIdenticalAcrossPaths(t *testing.T) {
+	srv, base := newFileBackedServer(t, Config{Workers: 1})
+	done := runSmallJob(t, base)
+	key := done.CacheKey
+
+	// LRU-hit path.
+	resp, canonical := rawGet(t, base+"/v1/results/"+key, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result GET: %d %s", resp.StatusCode, canonical)
+	}
+	wantETag := `"` + key + `"`
+	if got := resp.Header.Get("ETag"); got != wantETag {
+		t.Fatalf("ETag = %q, want %q", got, wantETag)
+	}
+	if got := resp.Header.Get("Content-Length"); got != strconv.Itoa(len(canonical)) {
+		t.Fatalf("Content-Length = %q for %d body bytes", got, len(canonical))
+	}
+	// The canonical bytes round-trip: JobResult holds only ints and
+	// strings, so re-encoding the decoded struct reproduces them exactly.
+	reenc, err := json.Marshal(done.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canonical, reenc) {
+		t.Fatal("result endpoint bytes differ from the re-encoded status result")
+	}
+
+	// Status-splice path: the result object inside GET /v1/jobs/{id} is the
+	// same raw buffer, byte for byte.
+	resp, stBody := rawGet(t, base+"/v1/jobs/"+done.ID, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job GET: %d %s", resp.StatusCode, stBody)
+	}
+	var envelope struct {
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(stBody, &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal([]byte(envelope.Result), canonical) {
+		t.Fatal("status envelope result differs from the canonical result bytes")
+	}
+
+	// Disk-fallback path: evict and re-fetch; the store streams the same
+	// bytes under the same ETag and exact length.
+	dropFromCache(srv, key)
+	resp, fromDisk := rawGet(t, base+"/v1/results/"+key, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("disk result GET: %d %s", resp.StatusCode, fromDisk)
+	}
+	if got := resp.Header.Get("ETag"); got != wantETag {
+		t.Fatalf("disk ETag = %q, want %q", got, wantETag)
+	}
+	if got := resp.Header.Get("Content-Length"); got != strconv.Itoa(len(fromDisk)) {
+		t.Fatalf("disk Content-Length = %q for %d body bytes", got, len(fromDisk))
+	}
+	if !bytes.Equal(fromDisk, canonical) {
+		t.Fatal("disk-fallback bytes differ from the LRU-hit bytes")
+	}
+}
+
+// TestResultConditionalGet covers the If-None-Match → 304 round-trip on
+// both the LRU and disk paths, including weak-comparison forms.
+func TestResultConditionalGet(t *testing.T) {
+	srv, base := newFileBackedServer(t, Config{Workers: 1})
+	done := runSmallJob(t, base)
+	key := done.CacheKey
+	etag := `"` + key + `"`
+
+	for _, inm := range []string{etag, "W/" + etag, `"other", ` + etag, "*"} {
+		resp, body := rawGet(t, base+"/v1/results/"+key, map[string]string{"If-None-Match": inm})
+		if resp.StatusCode != http.StatusNotModified {
+			t.Fatalf("If-None-Match %q: status %d, want 304", inm, resp.StatusCode)
+		}
+		if len(body) != 0 {
+			t.Fatalf("304 carried a %d-byte body", len(body))
+		}
+		if got := resp.Header.Get("ETag"); got != etag {
+			t.Fatalf("304 ETag = %q, want %q", got, etag)
+		}
+	}
+	// A stale validator still gets the full representation.
+	resp, body := rawGet(t, base+"/v1/results/"+key, map[string]string{"If-None-Match": `"stale"`})
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("stale If-None-Match: %d with %d bytes, want 200 with body", resp.StatusCode, len(body))
+	}
+
+	// Same round-trip once the blob is out of the LRU: the disk path must
+	// answer 304 from the open alone, without reading result bytes.
+	dropFromCache(srv, key)
+	resp, body = rawGet(t, base+"/v1/results/"+key, map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("disk 304: %d with %d bytes", resp.StatusCode, len(body))
+	}
+}
+
+// TestResultGzipVariant: Accept-Encoding: gzip serves a compressed body
+// that decompresses to exactly the canonical bytes — from the in-memory
+// variant on a cache hit, and from the persisted sibling blob once the
+// entry has left the LRU. q=0 opts back out.
+func TestResultGzipVariant(t *testing.T) {
+	srv, base := newFileBackedServer(t, Config{Workers: 1})
+	done := runSmallJob(t, base)
+	key := done.CacheKey
+
+	_, canonical := rawGet(t, base+"/v1/results/"+key, nil)
+
+	check := func(label string) {
+		t.Helper()
+		resp, body := rawGet(t, base+"/v1/results/"+key, map[string]string{"Accept-Encoding": "gzip"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", label, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Content-Encoding"); got != "gzip" {
+			t.Fatalf("%s: Content-Encoding = %q", label, got)
+		}
+		if got := resp.Header.Get("Content-Length"); got != strconv.Itoa(len(body)) {
+			t.Fatalf("%s: Content-Length = %q for %d wire bytes", label, got, len(body))
+		}
+		zr, err := gzip.NewReader(bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		plain, err := io.ReadAll(zr)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if !bytes.Equal(plain, canonical) {
+			t.Fatalf("%s: gzip body does not decompress to the canonical bytes", label)
+		}
+	}
+	check("cache-hit gzip")
+
+	// The first gzip request persisted the sibling; the disk path serves it
+	// without touching the identity blob.
+	dropFromCache(srv, key)
+	check("sibling gzip")
+
+	// An explicit q=0 refuses gzip: identity bytes come back.
+	resp, body := rawGet(t, base+"/v1/results/"+key, map[string]string{"Accept-Encoding": "gzip;q=0"})
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Encoding") != "" {
+		t.Fatalf("q=0: status %d, Content-Encoding %q", resp.StatusCode, resp.Header.Get("Content-Encoding"))
+	}
+	if !bytes.Equal(body, canonical) {
+		t.Fatal("q=0 response differs from the canonical bytes")
+	}
+}
+
+// TestResultEncodeOnceCounter is the zero-marshal regression test: every
+// cache-hit result GET (304s included) and every status splice must tick
+// result_encodes_saved — the designated witness that no per-request
+// json.Marshal ran on the hot path. If someone reintroduces a marshal,
+// this counter is the contract they have to delete to get the test green.
+func TestResultEncodeOnceCounter(t *testing.T) {
+	srv, base := newFileBackedServer(t, Config{Workers: 1})
+	done := runSmallJob(t, base)
+	key := done.CacheKey
+
+	before := srv.Stats().ResultEncodesSaved
+	const hot = 5
+	for i := 0; i < hot; i++ {
+		resp, _ := rawGet(t, base+"/v1/results/"+key, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("hot GET %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp, _ := rawGet(t, base+"/v1/results/"+key, map[string]string{"If-None-Match": `"` + key + `"`})
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET: status %d", resp.StatusCode)
+	}
+	resp, _ = rawGet(t, base+"/v1/jobs/"+done.ID, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status GET: %d", resp.StatusCode)
+	}
+	after := srv.Stats().ResultEncodesSaved
+	if got, want := after-before, int64(hot+2); got != want {
+		t.Fatalf("result_encodes_saved advanced by %d, want %d (5 hot GETs + 1 conditional + 1 splice)", got, want)
+	}
+	if served := srv.Stats().ResultBytesServed; served <= 0 {
+		t.Fatalf("result_bytes_served = %d, want > 0", served)
+	}
+}
+
+// TestFigureTraceConditionalHeaders: the SVG endpoints of a finished job
+// carry a strong validator and an exact Content-Length, and honor
+// If-None-Match.
+func TestFigureTraceConditionalHeaders(t *testing.T) {
+	_, base := newFileBackedServer(t, Config{Workers: 1})
+	done := runSmallJob(t, base)
+
+	for _, path := range []string{
+		"/v1/jobs/" + done.ID + "/figure.svg",
+		"/v1/jobs/" + done.ID + "/trace.svg",
+	} {
+		resp, body := rawGet(t, base+path, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Content-Length"); got != strconv.Itoa(len(body)) {
+			t.Fatalf("%s: Content-Length = %q for %d body bytes", path, got, len(body))
+		}
+		etag := resp.Header.Get("ETag")
+		if etag == "" {
+			t.Fatalf("%s: no ETag on a finished job", path)
+		}
+		resp, body = rawGet(t, base+path, map[string]string{"If-None-Match": etag})
+		if resp.StatusCode != http.StatusNotModified || len(body) != 0 {
+			t.Fatalf("%s conditional: %d with %d bytes", path, resp.StatusCode, len(body))
+		}
+	}
+}

@@ -24,6 +24,17 @@
 // coalesces onto the in-flight job (single-flight deduplication) instead
 // of running a second sweep.
 //
+// The read side is an encode-once data plane (result.go): a completed
+// result is marshaled exactly once, and the canonical bytes — the same
+// buffer the blob store persists — back every response afterwards.
+// GET /v1/results/{key} copies them, job statuses splice them in as raw
+// JSON, stream replays copy pre-rendered rows memoized on the blob, and
+// gzip responses copy a lazily-built compressed variant (persisted as a
+// sibling blob). The content address doubles as a strong ETag, so
+// If-None-Match revalidations answer 304 before any result-sized buffer
+// is touched; results evicted from the LRU stream from disk through the
+// store's reader without whole-blob buffering.
+//
 // Endpoints:
 //
 //	POST   /v1/compile             ODE source → taxonomy, actions, expected flow
@@ -41,6 +52,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -304,14 +316,16 @@ func (s *Server) submitTraced(spec JobSpec, traceID string) (*Job, error) {
 	}
 
 	if spec.cacheable() {
-		if res, ok := s.lookupResult(key); ok {
+		if blob, ok := s.lookupResult(key); ok {
 			job.status = StatusDone
-			job.result = res
+			job.result = blob
 			job.cached = true
 			job.started = job.created
 			job.finished = time.Now()
 			tr.Add(obs.StageResponded, job.finished)
-			job.rows.replayResult(res, StatusDone)
+			// Deferred replay: the rows render (from the blob's memoized
+			// stream render) only if someone actually streams this job.
+			job.rows.replayBlob(blob, StatusDone)
 			close(job.done)
 			s.register(job)
 			s.met.submitted.Inc()
@@ -439,8 +453,16 @@ type Stats struct {
 	// StoreErrors counts store faults the service absorbed: failed WAL
 	// appends (journaling is best-effort) and result blobs that exist but
 	// cannot be read or decoded.
-	StoreErrors int64       `json:"store_errors"`
-	Store       store.Stats `json:"store"`
+	StoreErrors int64 `json:"store_errors"`
+	// ResultEncodesSaved counts result reads served from the encode-once
+	// canonical bytes — cache-hit result GETs (304s included) and job
+	// statuses spliced from the shared buffer — each one a JSON marshal
+	// the pre-encode-once service would have paid per request.
+	ResultEncodesSaved int64 `json:"result_encodes_saved"`
+	// ResultBytesServed counts result payload bytes written to clients by
+	// the result data plane (compressed size for gzip responses).
+	ResultBytesServed int64       `json:"result_bytes_served"`
+	Store             store.Stats `json:"store"`
 }
 
 // Stats returns a snapshot of the service counters (the body of GET
@@ -452,18 +474,20 @@ func (s *Server) Stats() Stats { return s.stats() }
 // the two surfaces cannot disagree.
 func (s *Server) stats() Stats {
 	st := Stats{
-		Jobs:           make(map[Status]int),
-		QueueCapacity:  s.cfg.QueueDepth,
-		Workers:        s.cfg.Workers,
-		SweepsExecuted: s.met.sweeps.Value(),
-		CoalescedJobs:  s.met.coalesced.Value(),
-		RejectedJobs:   s.met.rejected.Value(),
-		Cache:          s.cache.stats(),
-		ResultDiskHits: s.met.diskHits.Value(),
-		WarmedResults:  s.warmed,
-		ResumedJobs:    s.resumed,
-		StoreErrors:    s.met.storeErrs.Value(),
-		Store:          s.store.Stats(),
+		Jobs:               make(map[Status]int),
+		QueueCapacity:      s.cfg.QueueDepth,
+		Workers:            s.cfg.Workers,
+		SweepsExecuted:     s.met.sweeps.Value(),
+		CoalescedJobs:      s.met.coalesced.Value(),
+		RejectedJobs:       s.met.rejected.Value(),
+		Cache:              s.cache.stats(),
+		ResultDiskHits:     s.met.diskHits.Value(),
+		WarmedResults:      s.warmed,
+		ResumedJobs:        s.resumed,
+		StoreErrors:        s.met.storeErrs.Value(),
+		ResultEncodesSaved: s.met.encodesSaved.Value(),
+		ResultBytesServed:  s.met.bytesServed.Value(),
+		Store:              s.store.Stats(),
 	}
 	s.mu.Lock()
 	for _, id := range s.order {
@@ -502,12 +526,35 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// marshalNoEscape is json.Marshal without HTML escaping (ODE sources
+// contain '<' and '>'), the encoding every JSON response body uses. The
+// Encoder's trailing newline is stripped; writeJSON re-appends it.
+func marshalNoEscape(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	b := buf.Bytes()
+	return b[:len(b)-1], nil
+}
+
+// writeJSON buffers the encoded body so every JSON response carries an
+// exact Content-Length instead of falling into chunked transfer encoding
+// (the newline terminator matches the historical Encoder framing).
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	data, err := marshalNoEscape(v)
+	if err != nil {
+		// Nothing body-safe to send: the value failed to encode.
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	data = append(data, '\n')
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	_, _ = w.Write(data)
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
@@ -599,7 +646,14 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errNotFound)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.snapshotJob(job, true))
+	st := s.snapshotJob(job, true)
+	if len(st.resultRaw) > 0 {
+		// The result portion of this response is the canonical buffer,
+		// spliced verbatim — no per-request marshal of the decoded struct.
+		s.met.encodesSaved.Inc()
+		s.met.bytesServed.Add(int64(len(st.resultRaw)))
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -620,6 +674,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errNotFound)
 		return
 	}
+	// Render any deferred replay (cache hits, recovered jobs) before the
+	// first wait: only jobs someone actually streams pay the row render.
+	job.rows.materialize()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -635,12 +692,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		for ; sent < len(rows); sent++ {
-			// Two writes: appending '\n' to the shared row slice could
-			// scribble on the marshal buffer another reader is sending.
+			// One write per row: every row is rendered with its own trailing
+			// '\n' (renderRow), so no reader ever appends to a shared buffer
+			// — and flush-per-row streaming pays half the syscalls.
 			if _, err := w.Write(rows[sent]); err != nil {
-				return
-			}
-			if _, err := w.Write([]byte{'\n'}); err != nil {
 				return
 			}
 		}

@@ -18,14 +18,28 @@ type StreamRow struct {
 	Event  string `json:"event,omitempty"` // "done" | "cancelled" | "failed" on the terminal row
 }
 
-// rowBuffer accumulates marshaled stream rows and wakes blocked stream
-// readers as rows arrive. Closed exactly once, when the job reaches a
-// terminal state.
+// renderRow marshals one stream row with its trailing newline, so a row is
+// one complete NDJSON line — and one Write — from the moment it exists.
+func renderRow(row StreamRow) []byte {
+	data, err := json.Marshal(row)
+	if err != nil {
+		// StreamRow contains only marshalable fields; unreachable.
+		panic("service: stream row marshal: " + err.Error())
+	}
+	return append(data, '\n')
+}
+
+// rowBuffer accumulates rendered stream rows (each newline-terminated) and
+// wakes blocked stream readers as rows arrive. Closed exactly once, when
+// the job reaches a terminal state. A buffer for an already-finished
+// result holds a deferred replay instead (replayBlob): nothing is decoded
+// or rendered until the first /stream reader materializes it.
 type rowBuffer struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	rows   [][]byte
 	closed bool
+	lazy   func() [][]byte // deferred replay; rendered by materialize()
 }
 
 func newRowBuffer() *rowBuffer {
@@ -34,19 +48,28 @@ func newRowBuffer() *rowBuffer {
 	return b
 }
 
-// append marshals and appends one row, waking all waiting readers.
+// append renders and appends one row, waking all waiting readers.
 func (b *rowBuffer) append(row StreamRow) {
-	data, err := json.Marshal(row)
-	if err != nil {
-		// StreamRow contains only marshalable fields; unreachable.
-		panic("service: stream row marshal: " + err.Error())
-	}
+	data := renderRow(row)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
 		return
 	}
 	b.rows = append(b.rows, data)
+	b.cond.Broadcast()
+}
+
+// appendRendered appends already-rendered rows (each newline-terminated,
+// typically resultBlob.streamRows' shared memoized slice — the rows are
+// only read, never mutated), waking all waiting readers.
+func (b *rowBuffer) appendRendered(rows [][]byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.rows = append(b.rows, rows...)
 	b.cond.Broadcast()
 }
 
@@ -71,17 +94,45 @@ func (b *rowBuffer) wait(have int, giveUp func() bool) ([][]byte, bool) {
 	return b.rows, b.closed
 }
 
-// replayResult fills the buffer from an already-finished result — so
-// /stream behaves identically for cache hits and for jobs recovered from
-// the durable store — then seals it with the terminal event row. A nil
-// result (a recovered job whose blob was never persisted or has gone
-// cold) yields just the terminal row.
-func (b *rowBuffer) replayResult(res *JobResult, terminal Status) {
-	if res != nil {
-		fillRowsFromResult(b, res)
+// replayBlob seals the buffer behind a deferred replay of an
+// already-finished result — so /stream behaves identically for cache hits
+// and jobs recovered from the durable store — without decoding or
+// rendering anything now: a warmed daemon may hold hundreds of blobs that
+// are never streamed. A nil blob (a recovered job whose blob was never
+// persisted or has gone cold) replays just the terminal event row.
+func (b *rowBuffer) replayBlob(blob *resultBlob, terminal Status) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lazy = func() [][]byte {
+		var rows [][]byte
+		if blob != nil {
+			rows = blob.streamRows()
+		}
+		// Full slice expression: the append must copy, not scribble past the
+		// end of the blob's shared memoized slice.
+		return append(rows[:len(rows):len(rows)], renderRow(StreamRow{Event: string(terminal), Period: -1}))
 	}
-	b.append(StreamRow{Event: string(terminal), Period: -1})
-	b.closeBuf()
+}
+
+// materialize renders a deferred replay into the buffer; a no-op for live
+// buffers. handleStream calls it before reading, so only streamed jobs pay
+// the render. Concurrent callers are safe: one renders (outside the lock —
+// the work is memoized on the blob), the rest find no pending replay and
+// block in wait until the broadcast.
+func (b *rowBuffer) materialize() {
+	b.mu.Lock()
+	fill := b.lazy
+	b.lazy = nil
+	b.mu.Unlock()
+	if fill == nil {
+		return
+	}
+	rows := fill()
+	b.mu.Lock()
+	b.rows = rows
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
 }
 
 // broadcast wakes all waiting readers without changing state.
@@ -91,7 +142,8 @@ func (b *rowBuffer) broadcast() {
 	b.cond.Broadcast()
 }
 
-// snapshotLen returns the current row count.
+// snapshotLen returns the current row count (0 for a sealed replay no
+// reader has materialized yet).
 func (b *rowBuffer) snapshotLen() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()

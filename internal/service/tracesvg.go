@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"odeproto/internal/plot"
 )
@@ -28,6 +29,18 @@ func (s *Server) handleTraceSVG(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("trace for job %s has no spans yet", job.ID))
 		return
 	}
+	// A terminal job's trace is frozen, so its span count pins the
+	// rendering: a strong validator. Live jobs get no ETag — their trace
+	// is still growing.
+	switch job.Snapshot(false).Status {
+	case StatusDone, StatusFailed, StatusCancelled:
+		etag := fmt.Sprintf("%q", fmt.Sprintf("t:%s:%s:%d", job.ID, job.trace.ID, len(spans)))
+		w.Header().Set("ETag", etag)
+		if ifNoneMatchHit(r, etag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
 	subtitle := "trace " + job.trace.ID
 	if job.trace.Node != "" {
 		subtitle = "node " + job.trace.Node + " · " + subtitle
@@ -42,6 +55,8 @@ func (s *Server) handleTraceSVG(w http.ResponseWriter, r *http.Request) {
 			spans[i-1].At.Sub(t0).Seconds(),
 			spans[i].At.Sub(t0).Seconds())
 	}
+	svg := wf.SVG()
 	w.Header().Set("Content-Type", "image/svg+xml")
-	_, _ = io.WriteString(w, wf.SVG())
+	w.Header().Set("Content-Length", strconv.Itoa(len(svg)))
+	_, _ = io.WriteString(w, svg)
 }

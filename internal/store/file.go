@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -316,6 +317,86 @@ func (s *FileStore) GetResult(key string) ([]byte, error) {
 		return nil, ErrNotFound
 	}
 	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// GetResultReader opens the stored blob for key as a stream, returning its
+// size so HTTP callers can set Content-Length without buffering the body.
+// The caller owns the Close.
+func (s *FileStore) GetResultReader(key string) (io.ReadCloser, int64, error) {
+	path, err := resultPath(s.dir, key)
+	if err != nil {
+		return nil, 0, ErrNotFound
+	}
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, 0, ErrNotFound
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, 0, err
+	}
+	return f, fi.Size(), nil
+}
+
+// PutResultGzip stores the gzip variant of a result as a sibling blob at
+// <blob>.gz, with the same tmp+fsync+rename discipline as PutResult: the
+// sibling is only a cache, but a torn gzip stream served to a client is
+// still a corrupt response, so it gets the same atomicity.
+func (s *FileStore) PutResultGzip(key string, data []byte) error {
+	path, err := resultPath(s.dir, key)
+	if err != nil {
+		return err
+	}
+	path += ".gz"
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := fmt.Sprintf("%s.tmp%d", path, tmpSeq.Add(1))
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// GetResultGzip returns the stored gzip sibling for key, or ErrNotFound
+// when it was never persisted (callers then recompress from canonical
+// bytes).
+func (s *FileStore) GetResultGzip(key string) ([]byte, error) {
+	path, err := resultPath(s.dir, key)
+	if err != nil {
+		return nil, ErrNotFound
+	}
+	data, err := os.ReadFile(path + ".gz")
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, ErrNotFound
 	}

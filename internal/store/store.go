@@ -24,6 +24,7 @@ package store
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"sync"
 )
 
@@ -124,7 +125,12 @@ var errClosed = errors.New("store: closed")
 // Append journals one lifecycle transition. PutResult durably stores a
 // completed result under its content address — implementations must not
 // return until the blob survives a crash (the service only marks a job
-// done afterwards). GetResult returns the stored blob or ErrNotFound.
+// done afterwards). GetResult returns the stored blob or ErrNotFound;
+// GetResultReader returns the same bytes as a stream plus their size, so
+// large blobs can be served without buffering them in memory (callers own
+// the Close). PutResultGzip/GetResultGzip store and load the gzip variant
+// of a result as a sibling blob — a pure cache of the canonical bytes, so
+// writes may be best-effort and a missing sibling is simply recompressed.
 // Recovered returns the jobs rebuilt from the log at open time, in
 // first-submitted order. Compact rewrites the log to one record per job,
 // dropping superseded transitions.
@@ -132,6 +138,9 @@ type Store interface {
 	Append(rec JobRecord) error
 	PutResult(key string, data []byte) error
 	GetResult(key string) ([]byte, error)
+	GetResultReader(key string) (io.ReadCloser, int64, error)
+	PutResultGzip(key string, data []byte) error
+	GetResultGzip(key string) ([]byte, error)
 	Recovered() []RecoveredJob
 	Compact() error
 	Stats() Stats
@@ -159,6 +168,14 @@ func (m *memory) Append(rec JobRecord) error {
 func (m *memory) PutResult(key string, data []byte) error { return nil }
 
 func (m *memory) GetResult(key string) ([]byte, error) { return nil, ErrNotFound }
+
+func (m *memory) GetResultReader(key string) (io.ReadCloser, int64, error) {
+	return nil, 0, ErrNotFound
+}
+
+func (m *memory) PutResultGzip(key string, data []byte) error { return nil }
+
+func (m *memory) GetResultGzip(key string) ([]byte, error) { return nil, ErrNotFound }
 
 func (m *memory) Recovered() []RecoveredJob { return nil }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -181,6 +182,107 @@ func TestResultRoundtrip(t *testing.T) {
 		if _, err := s.GetResult(bad); err != ErrNotFound {
 			t.Fatalf("GetResult(%q) err = %v, want ErrNotFound", bad, err)
 		}
+	}
+}
+
+// TestResultReaderStreams pins the streaming read API: GetResultReader
+// hands back the blob bytes and the exact on-disk size without buffering
+// the whole result, and missing keys surface as ErrNotFound.
+func TestResultReaderStreams(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	defer s.Close()
+
+	key := "fedcba9876543210fedcba9876543210fedcba9876543210fedcba9876543210"
+	if _, _, err := s.GetResultReader(key); err != ErrNotFound {
+		t.Fatalf("missing result reader err = %v, want ErrNotFound", err)
+	}
+	blob := []byte(`{"states":["x","y"],"runs":[{"seed":1}]}`)
+	if err := s.PutResult(key, blob); err != nil {
+		t.Fatal(err)
+	}
+	rc, size, err := s.GetResultReader(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != int64(len(blob)) {
+		t.Fatalf("reader size = %d, want %d", size, len(blob))
+	}
+	got, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("streamed bytes = %q, want %q", got, blob)
+	}
+	// Invalid keys behave like missing ones — no path resolution.
+	if _, _, err := s.GetResultReader("../../etc/passwd"); err != ErrNotFound {
+		t.Fatalf("bad-key reader err = %v, want ErrNotFound", err)
+	}
+
+	// The memory backend never has bytes to stream.
+	m := NewMemory()
+	if _, _, err := m.GetResultReader(key); err != ErrNotFound {
+		t.Fatalf("memory reader err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestResultGzipSibling pins the compressed-variant contract: the gzip
+// sibling lands atomically next to the canonical blob, reads back
+// verbatim, and its absence is ErrNotFound (callers rebuild lazily).
+func TestResultGzipSibling(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	defer s.Close()
+
+	key := "00112233445566770011223344556677001122334455667700112233445566ff"
+	if _, err := s.GetResultGzip(key); err != ErrNotFound {
+		t.Fatalf("missing gzip err = %v, want ErrNotFound", err)
+	}
+	if err := s.PutResult(key, []byte(`{"states":[]}`)); err != nil {
+		t.Fatal(err)
+	}
+	gz := []byte("\x1f\x8b-pretend-gzip-bytes")
+	if err := s.PutResultGzip(key, gz); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetResultGzip(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, gz) {
+		t.Fatalf("gzip sibling = %q, want %q", got, gz)
+	}
+	// The sibling lives at <blob>.gz, and writes leave no temp droppings.
+	path := filepath.Join(dir, "results", key[:2], key+".gz")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("gzip sibling not at %s: %v", path, err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "results", key[:2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("result dir holds %d entries, want blob + sibling", len(entries))
+	}
+	// Bad keys are rejected on both sides.
+	if err := s.PutResultGzip("abcd/efgh", gz); err == nil {
+		t.Fatal("PutResultGzip accepted a path-like key")
+	}
+	if _, err := s.GetResultGzip("abcd/efgh"); err != ErrNotFound {
+		t.Fatalf("bad-key gzip err = %v, want ErrNotFound", err)
+	}
+
+	// Memory backend: best-effort no-op write, nothing to read back.
+	m := NewMemory()
+	if err := m.PutResultGzip(key, gz); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.GetResultGzip(key); err != ErrNotFound {
+		t.Fatalf("memory gzip err = %v, want ErrNotFound", err)
 	}
 }
 
